@@ -1,0 +1,148 @@
+// Command clearbench regenerates every table and figure of the paper's
+// evaluation section. Without flags it runs the full matrix (all benchmarks,
+// all four configurations, retry sweep, multi-seed) and prints every
+// experiment; -table/-fig select one.
+//
+// Usage:
+//
+//	clearbench                    # everything (takes a few minutes)
+//	clearbench -fig 8             # just Figure 8
+//	clearbench -table 1           # just Table 1 (static, fast)
+//	clearbench -quick             # reduced sweep for a fast look
+//	clearbench -ablation discovery|lockall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "print only this table (1 or 2)")
+		fig      = flag.Int("fig", 0, "print only this figure (1, 8..13)")
+		quick    = flag.Bool("quick", false, "reduced sweep (8 cores, 1 seed)")
+		cores    = flag.Int("cores", 0, "override simulated core count")
+		ops      = flag.Int("ops", 0, "override operations per thread")
+		seeds    = flag.Int("seeds", 0, "override seed count")
+		ablation = flag.String("ablation", "", "run an ablation: 'discovery' (no failed-mode continuation) or 'lockall' (S-CL locks all reads)")
+		sweep    = flag.Bool("sweep", false, "print the retry-limit design-space exploration instead of the figures")
+		csvPath  = flag.String("csv", "", "also write the matrix cells as CSV to this file")
+	)
+	flag.Parse()
+
+	// The static tables need no simulation.
+	if *table == 1 {
+		if err := harness.PrintTable1(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *table == 2 {
+		harness.PrintTable2(os.Stdout, 32)
+		return
+	}
+	if *table != 0 {
+		fatal(fmt.Errorf("unknown table %d", *table))
+	}
+
+	if *fig != 0 {
+		switch *fig {
+		case 1, 8, 9, 10, 11, 12, 13:
+		default:
+			// Validate before the (minutes-long) matrix run.
+			fatal(fmt.Errorf("unknown figure %d (want 1 or 8..13)", *fig))
+		}
+	}
+
+	opts := harness.DefaultMatrixOptions()
+	if *quick {
+		opts = harness.QuickMatrixOptions()
+	}
+	if *cores > 0 {
+		opts.Cores = *cores
+	}
+	if *ops > 0 {
+		opts.OpsPerThread = *ops
+	}
+	if *seeds > 0 {
+		opts.Seeds = opts.Seeds[:0]
+		for s := 1; s <= *seeds; s++ {
+			opts.Seeds = append(opts.Seeds, uint64(s))
+		}
+	}
+	switch strings.ToLower(*ablation) {
+	case "":
+	case "discovery":
+		opts.DisableDiscoveryContinuation = true
+	case "lockall":
+		opts.SCLLockAllReads = true
+	default:
+		fatal(fmt.Errorf("unknown ablation %q", *ablation))
+	}
+
+	if *sweep {
+		sw, err := harness.RunRetrySweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		sw.Print(os.Stdout)
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "clearbench: running matrix: %d benchmarks x %d configs x %d retry limits x %d seeds (%d cores, %d ops/thread)\n",
+		len(opts.Benchmarks), len(opts.Configs), len(opts.RetryLimits), len(opts.Seeds), opts.Cores, opts.OpsPerThread)
+	m, err := harness.RunMatrix(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clearbench: matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", *csvPath)
+	}
+
+	printers := map[int]func(){
+		1:  func() { m.PrintFigure1(os.Stdout) },
+		8:  func() { m.PrintFigure8(os.Stdout) },
+		9:  func() { m.PrintFigure9(os.Stdout) },
+		10: func() { m.PrintFigure10(os.Stdout) },
+		11: func() { m.PrintFigure11(os.Stdout) },
+		12: func() { m.PrintFigure12(os.Stdout) },
+		13: func() { m.PrintFigure13(os.Stdout) },
+	}
+	if *fig != 0 {
+		printers[*fig]()
+		return
+	}
+	if err := harness.PrintTable1(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	harness.PrintTable2(os.Stdout, opts.Cores)
+	for _, f := range []int{1, 8, 9, 10, 11, 12, 13} {
+		fmt.Println()
+		printers[f]()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clearbench:", err)
+	os.Exit(1)
+}

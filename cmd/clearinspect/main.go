@@ -1,0 +1,114 @@
+// Command clearinspect inspects workload atomic regions: it disassembles
+// every AR of a benchmark, prints the static mutability analysis behind
+// Table 1, and optionally runs a small traced simulation so the execution
+// modes (speculative, failed-mode discovery, S-CL, NS-CL, fallback) can be
+// watched instruction by instruction.
+//
+// Usage:
+//
+//	clearinspect -bench sorted-list            # disassembly + analysis
+//	clearinspect -bench mwobject -trace -ops 5 # traced mini-run (config W)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark to inspect (empty: list all)")
+		trace = flag.Bool("trace", false, "run a small traced simulation")
+		cores = flag.Int("cores", 4, "cores for -trace")
+		ops   = flag.Int("ops", 10, "ops per thread for -trace")
+		cfg   = flag.String("config", "W", "configuration for -trace (B, P, C, W)")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Println("benchmarks:")
+		for _, n := range workload.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	w, err := workload.New(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark %s: %d atomic regions\n\n", w.Name(), len(w.ARs()))
+	for _, p := range w.ARs() {
+		a := isa.Analyze(p)
+		fmt.Print(isa.Disassemble(p))
+		fmt.Printf("   classification: %s", a.Mutability)
+		if a.HasIndirection {
+			fmt.Print(" (has indirection)")
+		}
+		if a.WritesIndirection {
+			fmt.Print(" (modifies its own indirection chain)")
+		}
+		fmt.Printf("\n   static loads=%d stores=%d branches=%d\n\n", a.Loads, a.Stores, a.Branches)
+	}
+
+	if !*trace {
+		return
+	}
+
+	var config harness.ConfigID
+	switch *cfg {
+	case "B":
+		config = harness.ConfigB
+	case "P":
+		config = harness.ConfigP
+	case "C":
+		config = harness.ConfigC
+	case "W":
+		config = harness.ConfigW
+	default:
+		fatal(fmt.Errorf("unknown config %q", *cfg))
+	}
+
+	memory := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(1)
+	if err := w.Setup(memory, rng, *cores); err != nil {
+		fatal(err)
+	}
+	p := harness.DefaultRunParams(*bench, config)
+	p.Cores = *cores
+	sys := p.SystemConfig()
+	sys.Cores = *cores
+	machine, err := cpu.NewMachine(sys, memory)
+	if err != nil {
+		fatal(err)
+	}
+	machine.SetTrace(os.Stdout)
+	feeds := make([]cpu.InvocationSource, *cores)
+	for tid := 0; tid < *cores; tid++ {
+		feeds[tid] = w.Source(tid, rng.Split(), *ops)
+	}
+	machine.AttachFeeds(feeds)
+	fmt.Printf("--- traced run: %d cores x %d ops, config %s ---\n", *cores, *ops, config)
+	if err := machine.Run(100_000_000); err != nil {
+		fatal(err)
+	}
+	if err := w.Verify(memory); err != nil {
+		fatal(err)
+	}
+	s := machine.Stats
+	fmt.Printf("--- done: %d cycles, %d commits (spec %d, S-CL %d, NS-CL %d, fallback %d), %d aborts ---\n",
+		s.Cycles, s.Commits, s.CommitsByMode[0], s.CommitsByMode[1], s.CommitsByMode[2], s.CommitsByMode[3], s.Aborts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clearinspect:", err)
+	os.Exit(1)
+}

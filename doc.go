@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Bounding Speculative
+// Execution of Atomic Regions to a Single Retry" (ASPLOS 2024): the CLEAR
+// cacheline-locked atomic-region technique, the discrete-event multicore
+// simulator it is evaluated on, the nineteen benchmarks of the paper's
+// evaluation, and a harness that regenerates every table and figure.
+//
+// The package tree:
+//
+//	internal/sim        deterministic discrete-event engine
+//	internal/mem        simulated physical memory and address arithmetic
+//	internal/cache      set-associative cache geometry and residency/pinning
+//	internal/coherence  directory MESI with cacheline locking and NACKs
+//	internal/isa        the mini register ISA and the mutability analyzer
+//	internal/htm        abort taxonomy, fallback lock, PowerTM token
+//	internal/core       CLEAR: ERT, ALT, CRT, discovery, decision tree
+//	internal/cpu        per-core interpreter and execution-mode state machine
+//	internal/workload   the 19 benchmarks
+//	internal/stats      metrics and the energy model
+//	internal/harness    experiment runner and figure/table formatters
+//
+// The benchmarks in bench_test.go regenerate the paper's experiments; see
+// EXPERIMENTS.md for the paper-versus-measured record.
+package repro

@@ -1,0 +1,48 @@
+// Paperfigures: drive the experiment harness programmatically — run a
+// reduced evaluation matrix over a chosen benchmark subset and print the
+// paper's figures for it, the way a research script would when exploring a
+// new design point.
+//
+//	go run ./examples/paperfigures
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	opts := harness.QuickMatrixOptions()
+	opts.Benchmarks = []string{"mwobject", "bitcoin", "queue", "labyrinth"}
+	opts.Cores = 16
+	opts.OpsPerThread = 60
+	opts.Seeds = []uint64{1, 2}
+	opts.RetryLimits = []int{2, 6}
+
+	fmt.Printf("running %d benchmarks x %d configs x %d retry limits x %d seeds...\n\n",
+		len(opts.Benchmarks), len(opts.Configs), len(opts.RetryLimits), len(opts.Seeds))
+	m, err := harness.RunMatrix(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m.PrintFigure8(os.Stdout)
+	fmt.Println()
+	m.PrintFigure9(os.Stdout)
+	fmt.Println()
+	m.PrintFigure13(os.Stdout)
+
+	// The harness exposes the aggregates directly for custom analysis.
+	fmt.Println("\ncustom analysis: best retry limit per cell")
+	for _, b := range opts.Benchmarks {
+		for _, c := range opts.Configs {
+			if cell := m.Cell(b, c); cell != nil {
+				fmt.Printf("  %-10s %s: retry=%d  %.0f cycles  %.2f aborts/commit\n",
+					b, c, cell.BestRetryLimit, cell.Cycles, cell.AbortsPerCommit)
+			}
+		}
+	}
+}

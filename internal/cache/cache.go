@@ -1,0 +1,188 @@
+// Package cache models set-associative cache geometry. The simulator uses it
+// for two purposes: classifying accesses as local hits or misses (timing),
+// and answering CLEAR's discovery question "can this set of cachelines be
+// held (locked) in the cache simultaneously?" — which is a per-set
+// associativity check (§4.1 assessment 2 of the paper).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Geometry describes a set-associative cache.
+type Geometry struct {
+	SizeBytes int
+	Ways      int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g Geometry) Sets() int {
+	sets := g.SizeBytes / (mem.LineSize * g.Ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: geometry %+v yields invalid set count %d", g, sets))
+	}
+	return sets
+}
+
+// Icelake-like private L1D from Table 2 of the paper: 48KiB, 12-way.
+var L1DGeometry = Geometry{SizeBytes: 48 * 1024, Ways: 12}
+
+// set holds the resident lines of one cache set in LRU order: index 0 is the
+// most recently used.
+type set struct {
+	lines []mem.LineAddr
+}
+
+// Cache is a tag-only set-associative cache with LRU replacement. It tracks
+// residency, not data (data lives in mem.Memory); pinned lines (locked
+// cachelines) are never chosen as victims.
+type Cache struct {
+	geom   Geometry
+	sets   []set
+	nsets  int
+	pinned map[mem.LineAddr]bool
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New returns an empty cache with the given geometry.
+func New(g Geometry) *Cache {
+	n := g.Sets()
+	return &Cache{
+		geom:   g,
+		sets:   make([]set, n),
+		nsets:  n,
+		pinned: make(map[mem.LineAddr]bool),
+	}
+}
+
+// Geometry returns the cache's geometry.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// Contains reports whether line is resident, without touching LRU state.
+func (c *Cache) Contains(line mem.LineAddr) bool {
+	s := &c.sets[line.SetIndex(c.nsets)]
+	for _, l := range s.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access touches line, updating LRU order, and reports whether it hit.
+func (c *Cache) Access(line mem.LineAddr) bool {
+	s := &c.sets[line.SetIndex(c.nsets)]
+	for i, l := range s.lines {
+		if l == line {
+			// Move to front.
+			copy(s.lines[1:i+1], s.lines[:i])
+			s.lines[0] = line
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Insert makes line resident, evicting the LRU non-pinned way if the set is
+// full. It returns the evicted line and whether an eviction happened. If
+// every way of the set is pinned, Insert fails with ok=false and evicted
+// is unused; the caller (the CLEAR lock controller) treats that as a
+// must-not-happen because discovery verified lockability.
+func (c *Cache) Insert(line mem.LineAddr) (evicted mem.LineAddr, didEvict bool, ok bool) {
+	s := &c.sets[line.SetIndex(c.nsets)]
+	for i, l := range s.lines {
+		if l == line {
+			copy(s.lines[1:i+1], s.lines[:i])
+			s.lines[0] = line
+			return 0, false, true
+		}
+	}
+	if len(s.lines) < c.geom.Ways {
+		s.lines = append(s.lines, 0)
+		copy(s.lines[1:], s.lines)
+		s.lines[0] = line
+		return 0, false, true
+	}
+	// Evict the least recently used non-pinned way.
+	for i := len(s.lines) - 1; i >= 0; i-- {
+		if !c.pinned[s.lines[i]] {
+			evicted = s.lines[i]
+			copy(s.lines[i:], s.lines[i+1:])
+			s.lines = s.lines[:len(s.lines)-1]
+			s.lines = append(s.lines, 0)
+			copy(s.lines[1:], s.lines)
+			s.lines[0] = line
+			c.Evictions++
+			return evicted, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// Remove drops line from the cache (e.g. on invalidation). Removing a
+// non-resident line is a no-op.
+func (c *Cache) Remove(line mem.LineAddr) {
+	s := &c.sets[line.SetIndex(c.nsets)]
+	for i, l := range s.lines {
+		if l == line {
+			s.lines = append(s.lines[:i], s.lines[i+1:]...)
+			delete(c.pinned, line)
+			return
+		}
+	}
+}
+
+// Pin marks a resident line as non-evictable (cacheline locking). Pinning a
+// non-resident line panics: the lock controller must insert first.
+func (c *Cache) Pin(line mem.LineAddr) {
+	if !c.Contains(line) {
+		panic(fmt.Sprintf("cache: pinning non-resident line %s", line))
+	}
+	c.pinned[line] = true
+}
+
+// Unpin clears the pin; the line stays resident.
+func (c *Cache) Unpin(line mem.LineAddr) { delete(c.pinned, line) }
+
+// Pinned reports whether the line is currently pinned.
+func (c *Cache) Pinned(line mem.LineAddr) bool { return c.pinned[line] }
+
+// PinnedCount returns the number of pinned lines.
+func (c *Cache) PinnedCount() int { return len(c.pinned) }
+
+// Reset empties the cache and clears pins but keeps statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i].lines = c.sets[i].lines[:0]
+	}
+	c.pinned = make(map[mem.LineAddr]bool)
+}
+
+// FitsSimultaneously reports whether all the given (distinct) lines can be
+// resident at once: no set may be claimed by more than Ways of them. This is
+// CLEAR discovery's lockability assessment.
+func FitsSimultaneously(g Geometry, lines []mem.LineAddr) bool {
+	nsets := g.Sets()
+	perSet := make(map[int]int)
+	seen := make(map[mem.LineAddr]bool, len(lines))
+	for _, l := range lines {
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		idx := l.SetIndex(nsets)
+		perSet[idx]++
+		if perSet[idx] > g.Ways {
+			return false
+		}
+	}
+	return true
+}

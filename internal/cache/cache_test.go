@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// tiny is a 4-set, 2-way geometry for focused tests.
+var tiny = Geometry{SizeBytes: 4 * 2 * mem.LineSize, Ways: 2}
+
+// lineInSet builds the i-th distinct line mapping to a given set.
+func lineInSet(g Geometry, set, i int) mem.LineAddr {
+	return mem.LineAddr(set + i*g.Sets())
+}
+
+func TestGeometrySets(t *testing.T) {
+	if got := tiny.Sets(); got != 4 {
+		t.Fatalf("Sets() = %d, want 4", got)
+	}
+	if got := L1DGeometry.Sets(); got != 64 {
+		t.Fatalf("L1D Sets() = %d, want 64", got)
+	}
+}
+
+func TestInsertAndHit(t *testing.T) {
+	c := New(tiny)
+	l := lineInSet(tiny, 1, 0)
+	if c.Access(l) {
+		t.Fatal("hit on empty cache")
+	}
+	if _, evicted, ok := c.Insert(l); evicted || !ok {
+		t.Fatal("insert into empty set evicted")
+	}
+	if !c.Access(l) {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tiny)
+	a, b, d := lineInSet(tiny, 2, 0), lineInSet(tiny, 2, 1), lineInSet(tiny, 2, 2)
+	c.Insert(a)
+	c.Insert(b)
+	c.Access(a) // a is now MRU; b is LRU
+	ev, did, ok := c.Insert(d)
+	if !ok || !did || ev != b {
+		t.Fatalf("evicted %v (did=%v), want %v", ev, did, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	c := New(tiny)
+	a, b, d := lineInSet(tiny, 0, 0), lineInSet(tiny, 0, 1), lineInSet(tiny, 0, 2)
+	c.Insert(a)
+	c.Insert(b)
+	c.Pin(b) // b would be LRU after touching a
+	c.Access(a)
+	ev, did, ok := c.Insert(d)
+	if !ok || !did || ev != a {
+		t.Fatalf("evicted %v, want the unpinned %v", ev, a)
+	}
+	if !c.Contains(b) {
+		t.Fatal("pinned line evicted")
+	}
+}
+
+func TestInsertFailsWhenAllPinned(t *testing.T) {
+	c := New(tiny)
+	a, b, d := lineInSet(tiny, 3, 0), lineInSet(tiny, 3, 1), lineInSet(tiny, 3, 2)
+	c.Insert(a)
+	c.Insert(b)
+	c.Pin(a)
+	c.Pin(b)
+	if _, _, ok := c.Insert(d); ok {
+		t.Fatal("insert succeeded with every way pinned")
+	}
+	c.Unpin(a)
+	if _, _, ok := c.Insert(d); !ok {
+		t.Fatal("insert failed after unpin")
+	}
+}
+
+func TestPinNonResidentPanics(t *testing.T) {
+	c := New(tiny)
+	defer func() {
+		if recover() == nil {
+			t.Error("pinning a non-resident line did not panic")
+		}
+	}()
+	c.Pin(lineInSet(tiny, 0, 0))
+}
+
+func TestRemoveClearsPin(t *testing.T) {
+	c := New(tiny)
+	a := lineInSet(tiny, 1, 0)
+	c.Insert(a)
+	c.Pin(a)
+	c.Remove(a)
+	if c.Contains(a) || c.Pinned(a) || c.PinnedCount() != 0 {
+		t.Fatal("remove left residue")
+	}
+}
+
+func TestFitsSimultaneously(t *testing.T) {
+	var lines []mem.LineAddr
+	for i := 0; i < tiny.Ways; i++ {
+		lines = append(lines, lineInSet(tiny, 1, i))
+	}
+	if !FitsSimultaneously(tiny, lines) {
+		t.Fatal("exactly Ways lines per set should fit")
+	}
+	lines = append(lines, lineInSet(tiny, 1, tiny.Ways))
+	if FitsSimultaneously(tiny, lines) {
+		t.Fatal("Ways+1 lines in one set should not fit")
+	}
+	// Duplicates do not count twice.
+	dup := []mem.LineAddr{lines[0], lines[0], lines[0]}
+	if !FitsSimultaneously(tiny, dup) {
+		t.Fatal("duplicate lines should collapse")
+	}
+}
+
+// TestCacheInvariants: under random operation sequences, set occupancy never
+// exceeds associativity and Contains matches Access behaviour.
+func TestCacheInvariants(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		c := New(tiny)
+		resident := make(map[mem.LineAddr]bool)
+		for _, op := range ops {
+			l := mem.LineAddr(op % 64)
+			switch op % 3 {
+			case 0:
+				if _, _, ok := c.Insert(l); ok {
+					resident[l] = true
+				}
+			case 1:
+				c.Remove(l)
+				delete(resident, l)
+			case 2:
+				if c.Access(l) != c.Contains(l) {
+					return false
+				}
+			}
+		}
+		// Residency per set bounded by ways.
+		perSet := map[int]int{}
+		for l := range resident {
+			if c.Contains(l) {
+				perSet[l.SetIndex(tiny.Sets())]++
+			}
+		}
+		for _, n := range perSet {
+			if n > tiny.Ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(tiny)
+	a := lineInSet(tiny, 0, 0)
+	c.Insert(a)
+	c.Pin(a)
+	hits := c.Hits
+	c.Reset()
+	if c.Contains(a) || c.PinnedCount() != 0 {
+		t.Fatal("reset left contents")
+	}
+	if c.Hits != hits {
+		t.Fatal("reset cleared statistics")
+	}
+}

@@ -1,0 +1,44 @@
+package coherence
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// CoreSet is a bitset of core IDs (up to 64 cores), used for directory
+// sharer vectors.
+type CoreSet uint64
+
+// Add returns the set with core added.
+func (s CoreSet) Add(core int) CoreSet { return s | 1<<uint(core) }
+
+// Remove returns the set with core removed.
+func (s CoreSet) Remove(core int) CoreSet { return s &^ (1 << uint(core)) }
+
+// Has reports whether core is in the set.
+func (s CoreSet) Has(core int) bool { return s&(1<<uint(core)) != 0 }
+
+// Empty reports whether the set has no members.
+func (s CoreSet) Empty() bool { return s == 0 }
+
+// Count returns the number of members.
+func (s CoreSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// ForEach calls fn for each member in ascending core order.
+func (s CoreSet) ForEach(fn func(core int)) {
+	for v := uint64(s); v != 0; {
+		c := bits.TrailingZeros64(v)
+		fn(c)
+		v &^= 1 << uint(c)
+	}
+}
+
+// Only reports whether the set contains exactly the given core.
+func (s CoreSet) Only(core int) bool { return s == 1<<uint(core) }
+
+func (s CoreSet) String() string {
+	var parts []string
+	s.ForEach(func(c int) { parts = append(parts, strconv.Itoa(c)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,520 @@
+// Package coherence implements the directory side of a MESI protocol with
+// the extensions CLEAR needs: cacheline locking, NACKable requests, and
+// retry-the-requester resolution of locked-line encounters (§4.4 of the
+// paper, Figures 5 and 6).
+//
+// The simulator processes each coherence transaction atomically inside one
+// directory call; latencies are returned to the requesting core, which
+// schedules its own continuation. Invalidation side effects (transaction
+// aborts at remote cores) are delivered synchronously through the CoreHook
+// interface that the HTM layer implements.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Latencies gathers the timing constants of the memory hierarchy, matching
+// Table 2 of the paper.
+type Latencies struct {
+	L1Hit sim.Tick // private L1 hit
+	// Directory is the shared L3/directory access cost; the private L2 of
+	// Table 2 is folded into this path (the simulator tracks residency at
+	// L1 granularity only).
+	Directory sim.Tick
+	Memory    sim.Tick // DRAM access beyond the directory
+	Crossbar  sim.Tick // one interconnect traversal (core<->directory)
+	Backoff   sim.Tick // re-issue delay after a locked-line Retry signal
+}
+
+// DefaultLatencies mirrors Table 2: L1 1 cycle, L3/directory 45, memory 80.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		L1Hit:     1,
+		Directory: 45,
+		Memory:    80,
+		Crossbar:  6,
+		Backoff:   20,
+	}
+}
+
+// HolderResponse is what a remote core answers when the directory asks it to
+// give up (or share) a line.
+type HolderResponse int
+
+const (
+	// HolderYields: the holder relinquishes the line; if it was reading or
+	// writing it transactionally the holder aborts (requester-wins).
+	HolderYields HolderResponse = iota
+	// HolderNacks: the holder has priority (power mode, or S-CL with the
+	// line locked); the requester is refused and must abort or retry.
+	HolderNacks
+)
+
+// ReqAttrs qualifies a coherence request with the transactional context of
+// the requesting core.
+type ReqAttrs struct {
+	// FailedMode marks a non-aborting request from failed-mode discovery:
+	// it must not disturb remote transactional state (§5.1).
+	FailedMode bool
+	// Power marks the requester as the (single) PowerTM power-mode
+	// transaction; holders yield to it even if they would otherwise win.
+	Power bool
+	// NackableLoad marks an S-CL load to a line the requester did not lock;
+	// if the target line is locked by someone else, the requester receives
+	// a Nack and aborts (Fig. 5 deadlock avoidance).
+	NackableLoad bool
+	// NonSpec marks a request from non-speculative fallback execution under
+	// the global lock; speculative holders always yield to it (their
+	// subscription to the fallback-lock line aborts them anyway).
+	NonSpec bool
+	// Locking marks the exclusive request of a cacheline-lock acquisition.
+	// Victim S-CL holders must not record such invalidations in their CRT:
+	// the locker is itself a transient CL re-execution, and defensively
+	// locking the line next time would only propagate lock acquisitions
+	// across the system (a chain reaction on read-hot lines).
+	Locking bool
+}
+
+// AccessResult reports the outcome of a Read/Write request.
+type AccessResult struct {
+	// Latency until data is available at the requesting core.
+	Latency sim.Tick
+	// Nacked: the request was refused by a lock holder or power-mode
+	// transaction; the requester must abort its AR.
+	Nacked bool
+	// Retry: the line is locked and the request is not NACKable; the
+	// requester must re-issue after Latency (the directory stays unblocked —
+	// this is the paper's fix to the three-core deadlock of Fig. 6).
+	Retry bool
+	// LockNack: the Nack came from a cacheline lock rather than from a
+	// prioritised holder. S-CL requesters do not record lock-caused nacks
+	// in the CRT — the lock is a transient re-execution artefact, and
+	// locking the line in response would cascade lock acquisitions across
+	// cores on read-hot lines.
+	LockNack bool
+}
+
+// LockResult reports the outcome of a Lock request.
+type LockResult struct {
+	Latency sim.Tick
+	// Retry: the line is locked by another core; re-issue after Latency
+	// (the lexicographic total order keeps this wait acyclic).
+	Retry bool
+	// Nacked: a prioritised holder (power mode, another S-CL's speculative
+	// set) refused the underlying invalidation; the locking AR must abort
+	// rather than spin, or it could form a wait cycle with the holder
+	// (§5.2).
+	Nacked bool
+}
+
+// CoreHook is implemented by the per-core transactional layer. The directory
+// invokes it synchronously while processing a transaction.
+type CoreHook interface {
+	// OnRemoteRequest tells the core that another core requests line with
+	// (isWrite) intent, carrying the requester's attributes. The core
+	// answers whether it yields (dropping the line from its cache, aborting
+	// its transaction if the line is in its read/write set) or NACKs.
+	OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs ReqAttrs) HolderResponse
+}
+
+type entry struct {
+	owner    int // core holding M/E, or -1
+	sharers  CoreSet
+	lockedBy int // core holding the cacheline lock, or -1
+	// held queues requests while the entry is blocked, only in HoldOnLocked
+	// mode (the deadlocking design the paper fixes; kept for the
+	// deadlock-injection tests).
+	held []heldReq
+}
+
+type heldReq struct {
+	core    int
+	isWrite bool
+}
+
+// Config controls directory behaviour.
+type Config struct {
+	NumCores int
+	// Sets is the number of directory sets; it defines CLEAR's
+	// lexicographic lock order and its conflict groups. Power of two.
+	Sets int
+	// HoldOnLocked, when true, queues non-NACKable requests at a locked
+	// line instead of signalling Retry. This reproduces the deadlock of
+	// Fig. 6 and exists only for tests; production configs leave it false.
+	HoldOnLocked bool
+	Lat          Latencies
+	// Topo prices interconnect traversals; nil selects the Table 2
+	// crossbar with Lat.Crossbar per link.
+	Topo noc.Topology
+}
+
+// DefaultConfig returns a 32-core directory with 4096 sets.
+func DefaultConfig() Config {
+	return Config{NumCores: 32, Sets: 4096, Lat: DefaultLatencies()}
+}
+
+// Stats counts directory-observable events; the energy model consumes them.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	Invalidations uint64
+	Downgrades    uint64
+	Nacks         uint64
+	Retries       uint64
+	Locks         uint64
+	Unlocks       uint64
+	MemoryFetches uint64
+	Forwards      uint64
+	// Hops counts interconnect link traversals (the NoC energy input).
+	Hops uint64
+}
+
+// Directory is the shared coherence point: it tracks the owner, sharers, and
+// lock state of every line touched so far.
+type Directory struct {
+	cfg     Config
+	entries map[mem.LineAddr]*entry
+	hooks   []CoreHook
+	topo    noc.Topology
+
+	Stats Stats
+}
+
+// NewDirectory builds an empty directory for cfg.NumCores cores.
+func NewDirectory(cfg Config) *Directory {
+	if cfg.NumCores <= 0 || cfg.NumCores > 64 {
+		panic(fmt.Sprintf("coherence: unsupported core count %d", cfg.NumCores))
+	}
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("coherence: directory sets %d not a power of two", cfg.Sets))
+	}
+	topo := cfg.Topo
+	if topo == nil {
+		topo = noc.NewCrossbar(cfg.Lat.Crossbar)
+	}
+	return &Directory{
+		cfg:     cfg,
+		entries: make(map[mem.LineAddr]*entry),
+		hooks:   make([]CoreHook, cfg.NumCores),
+		topo:    topo,
+	}
+}
+
+// Topology returns the interconnect model in use.
+func (d *Directory) Topology() noc.Topology { return d.topo }
+
+// link prices one interconnect traversal between core and line's home bank
+// and counts its hops.
+func (d *Directory) link(core int, line mem.LineAddr) sim.Tick {
+	bank := d.SetOf(line)
+	d.Stats.Hops += uint64(d.topo.Hops(core, bank))
+	return d.topo.Latency(core, bank)
+}
+
+// RegisterHook installs the transactional layer callback for a core.
+func (d *Directory) RegisterHook(core int, h CoreHook) { d.hooks[core] = h }
+
+// Config returns the directory configuration.
+func (d *Directory) Config() Config { return d.cfg }
+
+// SetOf returns the directory set index of line: CLEAR's lexicographic lock
+// order (§5, "the set index of the smallest shared structure").
+func (d *Directory) SetOf(line mem.LineAddr) int { return line.SetIndex(d.cfg.Sets) }
+
+func (d *Directory) entryFor(line mem.LineAddr) *entry {
+	e, ok := d.entries[line]
+	if !ok {
+		e = &entry{owner: -1, lockedBy: -1}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// LockedBy returns the core holding the cacheline lock on line, or -1.
+func (d *Directory) LockedBy(line mem.LineAddr) int {
+	if e, ok := d.entries[line]; ok {
+		return e.lockedBy
+	}
+	return -1
+}
+
+// Owner returns the exclusive owner of line, or -1.
+func (d *Directory) Owner(line mem.LineAddr) int {
+	if e, ok := d.entries[line]; ok {
+		return e.owner
+	}
+	return -1
+}
+
+// Sharers returns the sharer set of line.
+func (d *Directory) Sharers(line mem.LineAddr) CoreSet {
+	if e, ok := d.entries[line]; ok {
+		return e.sharers
+	}
+	return 0
+}
+
+// roundTrip is the base cost of core consulting line's directory bank:
+// request + response traversals plus the directory access.
+func (d *Directory) roundTrip(core int, line mem.LineAddr) sim.Tick {
+	return d.link(core, line) + d.link(core, line) + d.cfg.Lat.Directory
+}
+
+// Read processes a GetS from core. On success the core becomes a sharer
+// (or keeps ownership). Failed-mode reads do not register as sharers and
+// never abort remote holders.
+func (d *Directory) Read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
+	d.Stats.Reads++
+	e := d.entryFor(line)
+	lat := d.roundTrip(core, line)
+
+	if attrs.FailedMode {
+		// Failed-mode discovery loads are non-aborting (§5.1): they read
+		// committed data without registering as sharers, disturbing owners,
+		// or honouring cacheline locks — the AR is already doomed and its
+		// requests must not damage other ARs.
+		d.Stats.MemoryFetches++
+		return AccessResult{Latency: lat + d.cfg.Lat.Memory}
+	}
+
+	if e.lockedBy >= 0 && e.lockedBy != core {
+		return d.refuse(e, line, core, false, attrs, lat)
+	}
+
+	if e.owner >= 0 && e.owner != core {
+		// Owned elsewhere: ask the owner to downgrade (share) the line.
+		resp := d.askHolder(e.owner, line, false, core, attrs)
+		if resp == HolderNacks {
+			d.Stats.Nacks++
+			return AccessResult{Latency: lat + d.cfg.Lat.Crossbar, Nacked: true}
+		}
+		d.Stats.Downgrades++
+		d.Stats.Forwards++
+		// Forward to the owner and data back: two more traversals.
+		lat += d.link(e.owner, line) + d.link(core, line)
+		// Owner keeps a shared copy.
+		e.sharers = e.sharers.Add(e.owner)
+		e.owner = -1
+	} else if e.owner == core {
+		// Already owned by the requester (e.g. read after transactional
+		// write): nothing to do at the directory.
+	} else if e.sharers.Empty() && e.owner < 0 {
+		// Cold miss: fetch from memory.
+		d.Stats.MemoryFetches++
+		lat += d.cfg.Lat.Memory
+	}
+
+	if e.owner != core {
+		e.sharers = e.sharers.Add(core)
+	}
+	return AccessResult{Latency: lat}
+}
+
+// Write processes a GetX/Upgrade from core. On success the core becomes the
+// exclusive owner; all other sharers and any previous owner are invalidated
+// (which may abort their transactions, per the holder's policy).
+func (d *Directory) Write(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
+	d.Stats.Writes++
+	e := d.entryFor(line)
+	lat := d.roundTrip(core, line)
+
+	if e.lockedBy >= 0 && e.lockedBy != core {
+		return d.refuse(e, line, core, true, attrs, lat)
+	}
+
+	if e.owner == core {
+		return AccessResult{Latency: lat}
+	}
+
+	// Collect every remote holder that must be invalidated.
+	nacked := false
+	invalidated := 0
+	if e.owner >= 0 {
+		resp := d.askHolder(e.owner, line, true, core, attrs)
+		if resp == HolderNacks {
+			nacked = true
+		} else {
+			d.Stats.Invalidations++
+			invalidated++
+			e.owner = -1
+		}
+	}
+	if !nacked {
+		var keep CoreSet
+		e.sharers.ForEach(func(c int) {
+			if c == core {
+				// The requester's own shared copy stays valid if the
+				// upgrade fails; dropping it here would let its cache and
+				// the sharer vector diverge (lost conflict detection).
+				keep = keep.Add(c)
+				return
+			}
+			resp := d.askHolder(c, line, true, core, attrs)
+			if resp == HolderNacks {
+				nacked = true
+				keep = keep.Add(c)
+				return
+			}
+			d.Stats.Invalidations++
+			invalidated++
+		})
+		if nacked {
+			// Partial invalidation: holders that yielded are already gone;
+			// refusing holders and the requester keep their copies and the
+			// upgrade fails.
+			e.sharers = keep
+		} else {
+			e.sharers = 0
+		}
+	}
+	if nacked {
+		d.Stats.Nacks++
+		return AccessResult{Latency: lat + d.link(core, line), Nacked: true}
+	}
+
+	if invalidated > 0 {
+		lat += 2 * d.link(core, line) // invalidation round trip (worst sharer)
+	} else {
+		d.Stats.MemoryFetches++
+		lat += d.cfg.Lat.Memory
+	}
+	e.owner = core
+	e.sharers = 0
+	return AccessResult{Latency: lat}
+}
+
+// refuse handles a request that hit a line locked by another core.
+func (d *Directory) refuse(e *entry, line mem.LineAddr, core int, isWrite bool, attrs ReqAttrs, lat sim.Tick) AccessResult {
+	if attrs.NackableLoad && !isWrite {
+		// Nackable loads are refused outright; the requester aborts. This
+		// breaks the two-core cycle of Fig. 5.
+		d.Stats.Nacks++
+		return AccessResult{Latency: lat + d.link(core, line), Nacked: true, LockNack: true}
+	}
+	if attrs.Power {
+		// §5.2: locked (S-CL/NS-CL) lines answer power-mode requests with a
+		// nack so the power transaction aborts instead of spinning — a
+		// power transaction waiting on a cacheline lock while the locker
+		// waits on power-held lines would otherwise livelock.
+		d.Stats.Nacks++
+		return AccessResult{Latency: lat + d.link(core, line), Nacked: true, LockNack: true}
+	}
+	if d.cfg.HoldOnLocked {
+		// Deadlock-prone design: park the request at the (blocked) entry.
+		// Only reachable in tests.
+		e.held = append(e.held, heldReq{core: core, isWrite: isWrite})
+		return AccessResult{Latency: 0, Retry: false, Nacked: false}
+	}
+	// Production design: tell the requester to try again later, leaving the
+	// directory entry unblocked (Fig. 6 fix).
+	d.Stats.Retries++
+	return AccessResult{Latency: lat + d.cfg.Lat.Backoff, Retry: true}
+}
+
+// HeldCount reports how many requests are parked on line (HoldOnLocked mode
+// only); tests use it to observe the deadlock.
+func (d *Directory) HeldCount(line mem.LineAddr) int {
+	if e, ok := d.entries[line]; ok {
+		return len(e.held)
+	}
+	return 0
+}
+
+func (d *Directory) askHolder(holder int, line mem.LineAddr, isWrite bool, requester int, attrs ReqAttrs) HolderResponse {
+	h := d.hooks[holder]
+	if h == nil {
+		return HolderYields
+	}
+	return h.OnRemoteRequest(line, isWrite, requester, attrs)
+}
+
+// Lock acquires the cacheline lock on line for core, first obtaining
+// exclusive ownership (invalidating sharers). If another core already holds
+// the lock, the result says to retry after the returned latency. The holder
+// callbacks apply the same policies as Write, so locking a line that a
+// power-mode transaction is using can be nacked — the caller converts that
+// into a retry as well.
+func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
+	d.Stats.Locks++
+	e := d.entryFor(line)
+	if e.lockedBy >= 0 && e.lockedBy != core {
+		d.Stats.Retries++
+		return LockResult{Latency: d.roundTrip(core, line) + d.cfg.Lat.Backoff, Retry: true}
+	}
+	if e.owner == core {
+		// Already held exclusive (the ALT "Hit" fast path of §5): the lock
+		// is taken without communicating with the rest of the hierarchy.
+		e.lockedBy = core
+		return LockResult{Latency: d.cfg.Lat.L1Hit}
+	}
+	attrs.Locking = true
+	res := d.Write(core, line, attrs)
+	if res.Nacked {
+		return LockResult{Latency: res.Latency, Nacked: true}
+	}
+	if res.Retry {
+		d.Stats.Retries++
+		return LockResult{Latency: res.Latency + d.cfg.Lat.Backoff, Retry: true}
+	}
+	e.lockedBy = core
+	return LockResult{Latency: res.Latency}
+}
+
+// Unlock releases the cacheline lock held by core on line. Held requests
+// (HoldOnLocked mode) are not replayed automatically; the simulator's retry
+// scheme re-issues from the core side.
+func (d *Directory) Unlock(core int, line mem.LineAddr) {
+	d.Stats.Unlocks++
+	e := d.entryFor(line)
+	if e.lockedBy != core {
+		panic(fmt.Sprintf("coherence: core %d unlocking line %s locked by %d", core, line, e.lockedBy))
+	}
+	e.lockedBy = -1
+}
+
+// UnlockAll releases every lock held by core (the bulk unlock at XEnd,
+// §5.1) and returns how many were released.
+func (d *Directory) UnlockAll(core int) int {
+	n := 0
+	for _, e := range d.entries {
+		if e.lockedBy == core {
+			e.lockedBy = -1
+			n++
+		}
+	}
+	d.Stats.Unlocks += uint64(n)
+	return n
+}
+
+// Evict removes core from line's sharer/owner sets (L1 replacement or
+// abort cleanup). Locked lines cannot be evicted.
+func (d *Directory) Evict(core int, line mem.LineAddr) {
+	e, ok := d.entries[line]
+	if !ok {
+		return
+	}
+	if e.lockedBy == core {
+		panic(fmt.Sprintf("coherence: evicting locked line %s", line))
+	}
+	if e.owner == core {
+		e.owner = -1
+	}
+	e.sharers = e.sharers.Remove(core)
+}
+
+// LockedLines returns how many lines are currently cacheline-locked; tests
+// use it to assert the bulk unlock is complete.
+func (d *Directory) LockedLines() int {
+	n := 0
+	for _, e := range d.entries {
+		if e.lockedBy >= 0 {
+			n++
+		}
+	}
+	return n
+}

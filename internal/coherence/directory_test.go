@@ -1,0 +1,392 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// recorderHook is a scripted CoreHook for directory tests.
+type recorderHook struct {
+	response HolderResponse
+	calls    []hookCall
+}
+
+type hookCall struct {
+	line      mem.LineAddr
+	isWrite   bool
+	requester int
+}
+
+func (h *recorderHook) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs ReqAttrs) HolderResponse {
+	h.calls = append(h.calls, hookCall{line, isWrite, requester})
+	return h.response
+}
+
+func newTestDir(cores int) (*Directory, []*recorderHook) {
+	cfg := DefaultConfig()
+	cfg.NumCores = cores
+	d := NewDirectory(cfg)
+	hooks := make([]*recorderHook, cores)
+	for i := range hooks {
+		hooks[i] = &recorderHook{response: HolderYields}
+		d.RegisterHook(i, hooks[i])
+	}
+	return d, hooks
+}
+
+const testLine = mem.LineAddr(0x100)
+
+func TestColdReadThenWrite(t *testing.T) {
+	d, _ := newTestDir(4)
+	res := d.Read(0, testLine, ReqAttrs{})
+	if res.Nacked || res.Retry {
+		t.Fatal("cold read refused")
+	}
+	if !d.Sharers(testLine).Has(0) {
+		t.Fatal("reader not registered as sharer")
+	}
+	res = d.Write(0, testLine, ReqAttrs{})
+	if res.Nacked || res.Retry {
+		t.Fatal("upgrade refused")
+	}
+	if d.Owner(testLine) != 0 || !d.Sharers(testLine).Empty() {
+		t.Fatalf("owner=%d sharers=%v after upgrade", d.Owner(testLine), d.Sharers(testLine))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Read(1, testLine, ReqAttrs{})
+	d.Read(2, testLine, ReqAttrs{})
+	d.Write(0, testLine, ReqAttrs{})
+	if len(hooks[1].calls) != 1 || len(hooks[2].calls) != 1 {
+		t.Fatalf("sharers asked %d/%d times, want 1/1", len(hooks[1].calls), len(hooks[2].calls))
+	}
+	if !hooks[1].calls[0].isWrite || hooks[1].calls[0].requester != 0 {
+		t.Fatalf("bad invalidation %+v", hooks[1].calls[0])
+	}
+	if d.Owner(testLine) != 0 {
+		t.Fatal("writer did not become owner")
+	}
+}
+
+func TestReadDowngradesOwner(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Write(0, testLine, ReqAttrs{})
+	res := d.Read(1, testLine, ReqAttrs{})
+	if res.Nacked || res.Retry {
+		t.Fatal("read from owned line refused")
+	}
+	if len(hooks[0].calls) != 1 || hooks[0].calls[0].isWrite {
+		t.Fatal("owner not asked to downgrade")
+	}
+	if d.Owner(testLine) != -1 {
+		t.Fatal("owner not cleared on downgrade")
+	}
+	sh := d.Sharers(testLine)
+	if !sh.Has(0) || !sh.Has(1) {
+		t.Fatalf("sharers %v, want {0,1}", sh)
+	}
+}
+
+func TestHolderNackRefusesWrite(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Read(1, testLine, ReqAttrs{})
+	hooks[1].response = HolderNacks
+	res := d.Write(0, testLine, ReqAttrs{})
+	if !res.Nacked {
+		t.Fatal("write not nacked by refusing holder")
+	}
+	if d.Owner(testLine) != -1 {
+		t.Fatal("nacked writer became owner")
+	}
+	if !d.Sharers(testLine).Has(1) {
+		t.Fatal("refusing holder lost its copy")
+	}
+}
+
+// TestNackPreservesRequesterSharer is the regression test for the lost-
+// update bug: when a sharer's upgrade is nacked, the requester must remain a
+// registered sharer (its cached copy is still valid).
+func TestNackPreservesRequesterSharer(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Read(0, testLine, ReqAttrs{})
+	d.Read(1, testLine, ReqAttrs{})
+	hooks[1].response = HolderNacks
+	res := d.Write(0, testLine, ReqAttrs{})
+	if !res.Nacked {
+		t.Fatal("expected nack")
+	}
+	if !d.Sharers(testLine).Has(0) {
+		t.Fatal("requester dropped from sharers after nacked upgrade")
+	}
+}
+
+func TestFailedModeReadIsInvisible(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Write(1, testLine, ReqAttrs{})
+	res := d.Read(0, testLine, ReqAttrs{FailedMode: true})
+	if res.Nacked || res.Retry {
+		t.Fatal("failed-mode read refused")
+	}
+	if len(hooks[1].calls) != 0 {
+		t.Fatal("failed-mode read disturbed the owner")
+	}
+	if d.Owner(testLine) != 1 || d.Sharers(testLine).Has(0) {
+		t.Fatal("failed-mode read changed directory state")
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	d, _ := newTestDir(4)
+	res := d.Lock(0, testLine, ReqAttrs{})
+	if res.Retry || res.Nacked {
+		t.Fatal("cold lock refused")
+	}
+	if d.LockedBy(testLine) != 0 {
+		t.Fatal("lock not recorded")
+	}
+	// A second core's lock request must be told to retry.
+	res = d.Lock(1, testLine, ReqAttrs{})
+	if !res.Retry {
+		t.Fatal("competing lock not retried")
+	}
+	// Plain requests are retried; nackable loads are nacked; power
+	// requests are nacked (§5.2).
+	if r := d.Read(1, testLine, ReqAttrs{}); !r.Retry {
+		t.Fatal("plain read of locked line not retried")
+	}
+	if r := d.Read(1, testLine, ReqAttrs{NackableLoad: true}); !r.Nacked {
+		t.Fatal("nackable load of locked line not nacked")
+	}
+	if r := d.Write(1, testLine, ReqAttrs{Power: true}); !r.Nacked {
+		t.Fatal("power write to locked line not nacked")
+	}
+	d.Unlock(0, testLine)
+	if d.LockedBy(testLine) != -1 {
+		t.Fatal("unlock did not clear")
+	}
+	if r := d.Lock(1, testLine, ReqAttrs{}); r.Retry || r.Nacked {
+		t.Fatal("lock after unlock refused")
+	}
+}
+
+func TestLockOwnedFastPath(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Write(0, testLine, ReqAttrs{})
+	res := d.Lock(0, testLine, ReqAttrs{})
+	if res.Retry || res.Nacked {
+		t.Fatal("lock of owned line refused")
+	}
+	if res.Latency != d.Config().Lat.L1Hit {
+		t.Fatalf("owned-line lock latency %d, want L1 hit %d (the §5 Hit path)",
+			res.Latency, d.Config().Lat.L1Hit)
+	}
+}
+
+func TestUnlockAllBulk(t *testing.T) {
+	d, _ := newTestDir(4)
+	lines := []mem.LineAddr{0x10, 0x20, 0x30}
+	for _, l := range lines {
+		d.Lock(0, l, ReqAttrs{})
+	}
+	d.Lock(1, 0x40, ReqAttrs{})
+	if n := d.UnlockAll(0); n != 3 {
+		t.Fatalf("UnlockAll released %d, want 3", n)
+	}
+	if d.LockedLines() != 1 {
+		t.Fatalf("%d lines locked, want core 1's single line", d.LockedLines())
+	}
+}
+
+func TestUnlockWrongCorePanics(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Lock(0, testLine, ReqAttrs{})
+	defer func() {
+		if recover() == nil {
+			t.Error("unlock by non-holder did not panic")
+		}
+	}()
+	d.Unlock(1, testLine)
+}
+
+func TestHoldOnLockedQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCores = 4
+	cfg.HoldOnLocked = true
+	d := NewDirectory(cfg)
+	d.Lock(0, testLine, ReqAttrs{})
+	d.Read(1, testLine, ReqAttrs{})
+	d.Write(2, testLine, ReqAttrs{})
+	if d.HeldCount(testLine) != 2 {
+		t.Fatalf("held %d requests, want 2 (the Fig. 6 deadlock ingredient)", d.HeldCount(testLine))
+	}
+	// Nackable loads still get nacked even in hold mode.
+	if r := d.Read(3, testLine, ReqAttrs{NackableLoad: true}); !r.Nacked {
+		t.Fatal("nackable load held instead of nacked")
+	}
+}
+
+func TestEvictClearsPresence(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Read(0, testLine, ReqAttrs{})
+	d.Evict(0, testLine)
+	if d.Sharers(testLine).Has(0) {
+		t.Fatal("evicted core still a sharer")
+	}
+	d.Write(1, testLine, ReqAttrs{})
+	d.Evict(1, testLine)
+	if d.Owner(testLine) != -1 {
+		t.Fatal("evicted owner still recorded")
+	}
+}
+
+func TestEvictLockedPanics(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Lock(0, testLine, ReqAttrs{})
+	defer func() {
+		if recover() == nil {
+			t.Error("evicting a locked line did not panic")
+		}
+	}()
+	d.Evict(0, testLine)
+}
+
+// TestDirectoryInvariants: under random request sequences with yielding
+// holders, the single-writer/multiple-reader invariant holds for every line.
+func TestDirectoryInvariants(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		d, _ := newTestDir(4)
+		lines := []mem.LineAddr{0x1, 0x2, 0x3}
+		for _, op := range ops {
+			core := int(op) % 4
+			line := lines[int(op>>2)%len(lines)]
+			switch (op >> 4) % 4 {
+			case 0:
+				d.Read(core, line, ReqAttrs{})
+			case 1:
+				d.Write(core, line, ReqAttrs{})
+			case 2:
+				if d.LockedBy(line) == core {
+					d.Unlock(core, line)
+				} else {
+					d.Lock(core, line, ReqAttrs{})
+				}
+			case 3:
+				if d.LockedBy(line) != core {
+					d.Evict(core, line)
+				}
+			}
+			for _, l := range lines {
+				owner := d.Owner(l)
+				if owner >= 0 && !d.Sharers(l).Empty() {
+					return false // owner and sharers coexist
+				}
+				if lk := d.LockedBy(l); lk >= 0 && owner >= 0 && lk != owner {
+					return false // locked by a non-owner
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreSet(t *testing.T) {
+	var s CoreSet
+	s = s.Add(3).Add(5).Add(3)
+	if s.Count() != 2 || !s.Has(3) || !s.Has(5) || s.Has(4) {
+		t.Fatalf("set %v malformed", s)
+	}
+	s = s.Remove(3)
+	if s.Count() != 1 || s.Has(3) {
+		t.Fatal("remove failed")
+	}
+	if !s.Only(5) {
+		t.Fatal("Only(5) false")
+	}
+	var order []int
+	s = s.Add(0).Add(63)
+	s.ForEach(func(c int) { order = append(order, c) })
+	if len(order) != 3 || order[0] != 0 || order[1] != 5 || order[2] != 63 {
+		t.Fatalf("ForEach order %v", order)
+	}
+}
+
+// flakyHook nacks pseudo-randomly, like a mix of power-mode and plain
+// holders.
+type flakyHook struct {
+	state uint64
+}
+
+func (h *flakyHook) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs ReqAttrs) HolderResponse {
+	h.state = h.state*6364136223846793005 + 1442695040888963407
+	if h.state>>62 == 0 {
+		return HolderNacks
+	}
+	return HolderYields
+}
+
+// TestDirectoryInvariantsWithNacks: the single-writer invariant and the
+// sharers/owner exclusivity hold even when holders refuse requests
+// unpredictably.
+func TestDirectoryInvariantsWithNacks(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.NumCores = 4
+		d := NewDirectory(cfg)
+		for i := 0; i < 4; i++ {
+			d.RegisterHook(i, &flakyHook{state: uint64(i + 1)})
+		}
+		lines := []mem.LineAddr{0x1, 0x2}
+		for _, op := range ops {
+			core := int(op) % 4
+			line := lines[int(op>>2)%len(lines)]
+			switch (op >> 4) % 3 {
+			case 0:
+				d.Read(core, line, ReqAttrs{})
+			case 1:
+				d.Write(core, line, ReqAttrs{})
+			case 2:
+				d.Write(core, line, ReqAttrs{Power: true})
+			}
+			for _, l := range lines {
+				if d.Owner(l) >= 0 && !d.Sharers(l).Empty() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedModeReadOnLockedLine: failed-mode discovery loads bypass even
+// cacheline locks (the AR is doomed; its reads must not deadlock on locks).
+func TestFailedModeReadOnLockedLine(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Lock(0, testLine, ReqAttrs{})
+	res := d.Read(1, testLine, ReqAttrs{FailedMode: true})
+	if res.Nacked || res.Retry {
+		t.Fatal("failed-mode read blocked by a cacheline lock")
+	}
+	if d.LockedBy(testLine) != 0 {
+		t.Fatal("lock disturbed by failed-mode read")
+	}
+}
+
+// TestHopsCounted: every directory transaction accounts interconnect hops.
+func TestHopsCounted(t *testing.T) {
+	d, _ := newTestDir(4)
+	before := d.Stats.Hops
+	d.Read(0, testLine, ReqAttrs{})
+	if d.Stats.Hops <= before {
+		t.Fatal("read accounted no hops")
+	}
+}

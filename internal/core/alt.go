@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// ALT sizing from §5: 32 entries, organised as a CAM with priority search.
+const (
+	ALTEntries          = 32
+	altEntryBits        = 1 + 58 + 1 + 1 + 1 + 1 + 6 // valid, addr, needs/locked/hit/conflict, priority
+	ALTStorageBytes     = ALTEntries * altEntryBits / 8
+	ALTStorageBytesSpec = 276 // the paper's quoted figure
+)
+
+// ALTEntry is one Addresses-to-Lock Table row (Figure 7).
+type ALTEntry struct {
+	Addr mem.LineAddr
+	// Set is the directory set index of Addr — the lexicographic lock
+	// order key (§5: "the set index of the smallest shared structure").
+	Set int
+	// NeedsLocking: this line must be locked before re-execution. Always
+	// set for written lines; set for read lines present in the CRT.
+	NeedsLocking bool
+	// Locked: the lock has been acquired (used during the locking walk).
+	Locked bool
+	// Hit: during group locking, the line was present in the private cache
+	// with exclusive permission.
+	Hit bool
+	// Conflict marks lexicographic-conflict group membership: every entry
+	// of a group except the last carries the bit, delimiting the group.
+	Conflict bool
+	// Written records whether the discovery phase saw a store to the line
+	// (drives NeedsLocking for S-CL).
+	Written bool
+}
+
+// ALT is the per-core Addresses-to-Lock Table: the cacheline footprint
+// learned during discovery, kept sorted by (directory set, line address) so
+// that the locking walk follows the deadlock-free lexicographic order.
+type ALT struct {
+	entries []ALTEntry
+	index   map[mem.LineAddr]int
+	cap     int
+	// Overflowed is set when the footprint exceeded the table capacity;
+	// the AR is then non-convertible for this invocation.
+	Overflowed bool
+}
+
+// NewALT returns an empty table with the paper's 32 entries.
+func NewALT() *ALT { return NewALTSized(ALTEntries) }
+
+// NewALTSized returns an empty table holding up to capacity lines (the
+// sizing-ablation hook); capacity < 1 falls back to the paper default.
+func NewALTSized(capacity int) *ALT {
+	if capacity < 1 {
+		capacity = ALTEntries
+	}
+	return &ALT{index: make(map[mem.LineAddr]int, capacity), cap: capacity}
+}
+
+// Cap returns the table capacity.
+func (t *ALT) Cap() int { return t.cap }
+
+// Reset clears the table for a new discovery phase.
+func (t *ALT) Reset() {
+	t.entries = t.entries[:0]
+	t.Overflowed = false
+	for k := range t.index {
+		delete(t.index, k)
+	}
+}
+
+// Len returns the number of learned lines.
+func (t *ALT) Len() int { return len(t.entries) }
+
+// Lines returns the learned line addresses in lock order.
+func (t *ALT) Lines() []mem.LineAddr {
+	out := make([]mem.LineAddr, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+// Entries exposes the table rows in lock order; the locking walk iterates
+// this slice. Callers must not reorder it.
+func (t *ALT) Entries() []ALTEntry { return t.entries }
+
+// EntryAt returns a pointer to row i for lock-walk mutation.
+func (t *ALT) EntryAt(i int) *ALTEntry { return &t.entries[i] }
+
+// Contains reports whether line was learned.
+func (t *ALT) Contains(line mem.LineAddr) bool {
+	_, ok := t.index[line]
+	return ok
+}
+
+// Written reports whether line was learned as written.
+func (t *ALT) Written(line mem.LineAddr) bool {
+	if i, ok := t.index[line]; ok {
+		return t.entries[i].Written
+	}
+	return false
+}
+
+// Record inserts (or updates) a line observed during discovery, keeping the
+// table sorted by (set, address). written marks a store. It returns false —
+// and sets Overflowed — when the footprint no longer fits.
+func (t *ALT) Record(line mem.LineAddr, set int, written bool) bool {
+	if t.Overflowed {
+		return false
+	}
+	if i, ok := t.index[line]; ok {
+		if written {
+			t.entries[i].Written = true
+		}
+		return true
+	}
+	if len(t.entries) >= t.cap {
+		t.Overflowed = true
+		return false
+	}
+	e := ALTEntry{Addr: line, Set: set, Written: written}
+	pos := sort.Search(len(t.entries), func(i int) bool {
+		if t.entries[i].Set != e.Set {
+			return t.entries[i].Set > e.Set
+		}
+		return t.entries[i].Addr > e.Addr
+	})
+	t.entries = append(t.entries, ALTEntry{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = e
+	// Rebuild the index positions at and after the insertion point.
+	for i := pos; i < len(t.entries); i++ {
+		t.index[t.entries[i].Addr] = i
+	}
+	return true
+}
+
+// FinalizeForMode prepares the lock walk for the chosen retry mode: NS-CL
+// locks every learned line; S-CL locks the written lines plus any line found
+// in the CRT (§4.4.2). Conflict bits are set for every member of a
+// lexicographic group (same directory set) except the last, delimiting the
+// group (§5).
+func (t *ALT) FinalizeForMode(mode RetryMode, crt *CRT) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.Locked = false
+		e.Hit = false
+		switch mode {
+		case RetryNSCL:
+			e.NeedsLocking = true
+		case RetrySCL:
+			e.NeedsLocking = e.Written || (crt != nil && crt.Contains(e.Addr))
+		default:
+			e.NeedsLocking = false
+		}
+	}
+	for i := range t.entries {
+		last := i == len(t.entries)-1 || t.entries[i+1].Set != t.entries[i].Set
+		t.entries[i].Conflict = !last
+	}
+}
+
+// LockOrderValid verifies the (set, addr) sort invariant; property tests
+// call it after random insertion sequences.
+func (t *ALT) LockOrderValid() error {
+	for i := 1; i < len(t.entries); i++ {
+		a, b := t.entries[i-1], t.entries[i]
+		if a.Set > b.Set || (a.Set == b.Set && a.Addr >= b.Addr) {
+			return fmt.Errorf("core: ALT order violated at %d: (%d,%s) then (%d,%s)",
+				i, a.Set, a.Addr, b.Set, b.Addr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import "repro/internal/mem"
+
+// CRT sizing from §5: 64 entries, 8-way set associative.
+const (
+	CRTEntries          = 64
+	CRTWays             = 8
+	crtSets             = CRTEntries / CRTWays
+	crtEntryBits        = 1 + 58 + 3 + 6 // valid, addr, lru, tag padding
+	CRTStorageBytes     = CRTEntries * crtEntryBits / 8
+	CRTStorageBytesSpec = 544 // the paper's quoted figure
+)
+
+type crtEntry struct {
+	valid bool
+	addr  mem.LineAddr
+	lru   uint64
+}
+
+// CRT is the Conflicting Reads Table (Figure 7): cachelines that were read —
+// not written — during discovery and that caused a conflict-and-abort in a
+// previous execution. Before an S-CL retry, CRT hits upgrade the
+// corresponding ALT entries to NeedsLocking so the same conflict cannot
+// recur (§4.4.2, §5.1).
+type CRT struct {
+	sets  [][]crtEntry
+	ways  int
+	clock uint64
+	// Inserts and Evictions feed the stats report.
+	Inserts   uint64
+	Evictions uint64
+}
+
+// NewCRT returns an empty table with the paper's 64-entry 8-way geometry.
+func NewCRT() *CRT { return NewCRTSized(CRTEntries, CRTWays) }
+
+// NewCRTSized returns an empty table with the given entry count and
+// associativity (the sizing-ablation hook); invalid values fall back to the
+// paper defaults. entries/ways must leave a power-of-two set count.
+func NewCRTSized(entries, ways int) *CRT {
+	if entries < 1 || ways < 1 || entries%ways != 0 {
+		entries, ways = CRTEntries, CRTWays
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		entries, ways = CRTEntries, CRTWays
+		nsets = entries / ways
+	}
+	t := &CRT{sets: make([][]crtEntry, nsets), ways: ways}
+	for i := range t.sets {
+		t.sets[i] = make([]crtEntry, ways)
+	}
+	return t
+}
+
+// Size returns the total entry count.
+func (t *CRT) Size() int { return len(t.sets) * t.ways }
+
+func (t *CRT) setOf(line mem.LineAddr) []crtEntry {
+	return t.sets[line.SetIndex(len(t.sets))]
+}
+
+// Contains reports whether line is recorded, refreshing its LRU age.
+func (t *CRT) Contains(line mem.LineAddr) bool {
+	set := t.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].addr == line {
+			t.clock++
+			set[i].lru = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert records line, evicting the LRU way of its set if necessary.
+func (t *CRT) Insert(line mem.LineAddr) {
+	t.clock++
+	set := t.setOf(line)
+	var victim *crtEntry
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.addr == line {
+			e.lru = t.clock
+			return
+		}
+		if victim == nil || !e.valid || (victim.valid && e.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = e
+			}
+		}
+	}
+	if victim.valid {
+		t.Evictions++
+	}
+	t.Inserts++
+	*victim = crtEntry{valid: true, addr: line, lru: t.clock}
+}
+
+// Remove drops line from the table. S-CL consumes a CRT hint once the
+// re-execution that locked the line commits: the conflict the entry guarded
+// against has been avoided, and keeping read-shared lines permanently in the
+// lock set would defeat §4.4.2's reason for not locking all reads (a single
+// early conflict on a hot read-mostly line — a tree root — would otherwise
+// serialise every later S-CL through that lock).
+func (t *CRT) Remove(line mem.LineAddr) {
+	set := t.setOf(line)
+	for i := range set {
+		if set[i].valid && set[i].addr == line {
+			set[i] = crtEntry{}
+			return
+		}
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *CRT) Len() int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

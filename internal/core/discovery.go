@@ -1,0 +1,167 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// RetryMode is the outcome of the §4.3 decision tree: how a failed AR
+// re-executes.
+type RetryMode int
+
+const (
+	// RetryFallback: speculative resources cannot even support a
+	// speculative retry, or the retry budget is exhausted; take the
+	// fallback lock (decision 0).
+	RetryFallback RetryMode = iota
+	// RetrySpeculative: plain conflict-detection retry, as baseline
+	// SLE/HTM would do (decision 1).
+	RetrySpeculative
+	// RetrySCL: speculative cacheline-locked execution — the learned
+	// critical footprint is locked, conflict detection stays on
+	// (decision 2).
+	RetrySCL
+	// RetryNSCL: non-speculative cacheline-locked execution — the whole
+	// immutable footprint is locked; completion is guaranteed
+	// (decision 3).
+	RetryNSCL
+)
+
+func (m RetryMode) String() string {
+	switch m {
+	case RetryFallback:
+		return "fallback"
+	case RetrySpeculative:
+		return "speculative"
+	case RetrySCL:
+		return "S-CL"
+	case RetryNSCL:
+		return "NS-CL"
+	}
+	return "unknown"
+}
+
+// Discovery accumulates what the discovery phase learns about one AR
+// invocation (§4.1). The CPU feeds it as instructions retire; Assess turns
+// it into a retry decision.
+type Discovery struct {
+	// Active: discovery is running for the current attempt.
+	Active bool
+	// Failed: a conflict occurred and the attempt continues in failed mode
+	// (holding the abort signal until the end of the AR).
+	Failed bool
+	// ALT is the learned footprint.
+	ALT *ALT
+	// SawIndirection: a retired memory operation or conditional branch had
+	// a source register with the indirection bit set.
+	SawIndirection bool
+	// SQOverflow: the store queue filled before the AR ended.
+	SQOverflow bool
+	// CacheOverflow: a tracked line was evicted from the private cache, so
+	// the footprint cannot be held simultaneously.
+	CacheOverflow bool
+	// ReachedEnd: the (possibly failed) attempt saw the whole AR.
+	ReachedEnd bool
+	// NonMemAbort: the attempt ended for a non-memory-conflict reason
+	// (explicit XAbort, fallback lock); such ARs are marked
+	// non-discoverable (§4.4.2).
+	NonMemAbort bool
+}
+
+// NewDiscovery returns a discovery tracker backed by a fresh ALT with the
+// paper's capacity.
+func NewDiscovery() *Discovery {
+	return &Discovery{ALT: NewALT()}
+}
+
+// NewDiscoverySized returns a discovery tracker whose ALT holds altEntries
+// lines (zero selects the paper's 32).
+func NewDiscoverySized(altEntries int) *Discovery {
+	return &Discovery{ALT: NewALTSized(altEntries)}
+}
+
+// Begin starts a discovery phase for a new AR attempt.
+func (d *Discovery) Begin() {
+	d.Active = true
+	d.Failed = false
+	d.ALT.Reset()
+	d.SawIndirection = false
+	d.SQOverflow = false
+	d.CacheOverflow = false
+	d.ReachedEnd = false
+	d.NonMemAbort = false
+}
+
+// Disable turns discovery off for the attempt (AR marked non-convertible in
+// the ERT, or SQ-full counter saturated).
+func (d *Discovery) Disable() { d.Active = false }
+
+// RecordAccess notes a retired memory access: the touched line, its
+// directory set, whether it was a store, and whether any source register of
+// the instruction carried the indirection bit.
+func (d *Discovery) RecordAccess(line mem.LineAddr, dirSet int, isWrite, indirection bool) {
+	if !d.Active {
+		return
+	}
+	if indirection {
+		d.SawIndirection = true
+	}
+	d.ALT.Record(line, dirSet, isWrite)
+}
+
+// RecordBranch notes a retired conditional branch whose sources carry the
+// indirection bit: control dependence counts as indirection (§3).
+func (d *Discovery) RecordBranch(indirection bool) {
+	if !d.Active {
+		return
+	}
+	if indirection {
+		d.SawIndirection = true
+	}
+}
+
+// Assessment is the §4.1 hierarchical assessment result.
+type Assessment struct {
+	// Convertible: the footprint was fully observed and can be
+	// simultaneously locked in the cache.
+	Convertible bool
+	// Immutable: no indirections nor loaded-value-dependent branches.
+	Immutable bool
+	// Mode is the resulting retry decision (before retry-budget and
+	// fallback considerations, which the CPU applies).
+	Mode RetryMode
+}
+
+// Assess runs the hierarchical discovery assessment against the private
+// cache geometry:
+//
+//  1. Did the AR fit the speculation window? (SQ overflow, ALT overflow,
+//     tracked-line eviction, or not reaching the end ⇒ non-convertible.)
+//  2. Can the learned cachelines be locked simultaneously? (per-set
+//     associativity check.)
+//  3. Is the footprint immutable? (no indirection bits observed.)
+func (d *Discovery) Assess(geom cache.Geometry) Assessment {
+	a := Assessment{Mode: RetrySpeculative}
+	if !d.Active || d.SQOverflow || d.CacheOverflow || d.ALT.Overflowed || !d.ReachedEnd || d.NonMemAbort {
+		return a
+	}
+	if !cache.FitsSimultaneously(geom, d.ALT.Lines()) {
+		return a
+	}
+	a.Convertible = true
+	if d.SawIndirection {
+		a.Mode = RetrySCL
+		return a
+	}
+	a.Immutable = true
+	a.Mode = RetryNSCL
+	return a
+}
+
+// StorageOverheadBytes returns the per-core storage cost of CLEAR's
+// structures, matching the paper's accounting (§5: 988.5 bytes total with
+// 180 physical registers).
+func StorageOverheadBytes(physicalRegisters int) float64 {
+	indirectionBits := float64(physicalRegisters) / 8
+	return indirectionBits + ERTStorageBytesSpec + ALTStorageBytesSpec + CRTStorageBytesSpec
+}

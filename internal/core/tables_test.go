@@ -1,0 +1,329 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// --- ERT -------------------------------------------------------------------
+
+func TestERTAllocatesWithDefaults(t *testing.T) {
+	ert := NewERT()
+	e := ert.Lookup(42)
+	if !e.Valid || e.PC != 42 || !e.IsConvertible || !e.IsImmutable || e.SQFull != 0 {
+		t.Fatalf("fresh entry %+v lacks §5 defaults", *e)
+	}
+	if !e.DiscoveryEnabled() {
+		t.Fatal("fresh entry should enable discovery")
+	}
+}
+
+func TestERTPersistence(t *testing.T) {
+	ert := NewERT()
+	ert.Lookup(1).IsConvertible = false
+	if ert.Lookup(1).IsConvertible {
+		t.Fatal("entry state lost across lookups")
+	}
+}
+
+func TestERTLRUReplacement(t *testing.T) {
+	ert := NewERT()
+	for pc := 0; pc < ERTEntries; pc++ {
+		ert.Lookup(pc).IsConvertible = false
+	}
+	ert.Lookup(0) // refresh PC 0
+	ert.Lookup(1000)
+	if ert.Peek(0) == nil {
+		t.Fatal("recently used entry evicted")
+	}
+	if ert.Peek(1) != nil {
+		t.Fatal("LRU entry (PC 1) survived replacement")
+	}
+	// The replacement allocates with defaults again.
+	if !ert.Lookup(1).IsConvertible {
+		t.Fatal("re-allocated entry did not reset to defaults")
+	}
+}
+
+func TestSQFullSaturatingCounter(t *testing.T) {
+	ert := NewERT()
+	e := ert.Lookup(7)
+	for i := 0; i < 10; i++ {
+		e.NoteSQOverflow()
+	}
+	if e.SQFull != SQFullCounterMax {
+		t.Fatalf("counter %d, want saturation at %d", e.SQFull, SQFullCounterMax)
+	}
+	if e.DiscoveryEnabled() {
+		t.Fatal("saturated counter should disable discovery")
+	}
+	e.NoteCommit()
+	if e.SQFull != SQFullCounterMax-1 {
+		t.Fatal("commit did not decrement counter")
+	}
+	if !e.DiscoveryEnabled() {
+		t.Fatal("discovery should re-enable below saturation")
+	}
+	for i := 0; i < 10; i++ {
+		e.NoteCommit()
+	}
+	if e.SQFull != 0 {
+		t.Fatal("counter went negative")
+	}
+}
+
+// --- ALT -------------------------------------------------------------------
+
+func TestALTSortedInsertion(t *testing.T) {
+	alt := NewALT()
+	// Insert in a scrambled order; sets chosen to collide.
+	lines := []struct {
+		line mem.LineAddr
+		set  int
+	}{{0x50, 3}, {0x10, 1}, {0x30, 3}, {0x20, 1}, {0x40, 2}}
+	for _, l := range lines {
+		if !alt.Record(l.line, l.set, false) {
+			t.Fatalf("record %v failed", l.line)
+		}
+	}
+	if err := alt.LockOrderValid(); err != nil {
+		t.Fatal(err)
+	}
+	got := alt.Lines()
+	want := []mem.LineAddr{0x10, 0x20, 0x40, 0x30, 0x50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lock order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestALTConflictGroups(t *testing.T) {
+	alt := NewALT()
+	alt.Record(0x10, 1, true)
+	alt.Record(0x20, 1, true)
+	alt.Record(0x30, 1, true)
+	alt.Record(0x40, 2, true)
+	alt.FinalizeForMode(RetryNSCL, nil)
+	// Group of three in set 1: first two carry the Conflict bit, the last
+	// delimits the group (§5); the singleton in set 2 carries none.
+	wantConflict := []bool{true, true, false, false}
+	for i, w := range wantConflict {
+		if alt.EntryAt(i).Conflict != w {
+			t.Fatalf("entry %d conflict=%v, want %v", i, alt.EntryAt(i).Conflict, w)
+		}
+	}
+}
+
+func TestALTOverflow(t *testing.T) {
+	alt := NewALT()
+	for i := 0; i < ALTEntries; i++ {
+		if !alt.Record(mem.LineAddr(i), i, false) {
+			t.Fatalf("record %d failed before capacity", i)
+		}
+	}
+	if alt.Record(0x1000, 5, false) {
+		t.Fatal("record beyond capacity succeeded")
+	}
+	if !alt.Overflowed {
+		t.Fatal("overflow not flagged")
+	}
+	// Re-recording an existing line is still fine for bookkeeping purposes.
+	if alt.Len() != ALTEntries {
+		t.Fatalf("len %d, want %d", alt.Len(), ALTEntries)
+	}
+}
+
+func TestALTDuplicateUpgradesWritten(t *testing.T) {
+	alt := NewALT()
+	alt.Record(0x10, 1, false)
+	alt.Record(0x10, 1, true)
+	if alt.Len() != 1 || !alt.Written(0x10) {
+		t.Fatal("duplicate record did not upgrade to written")
+	}
+}
+
+func TestALTFinalizeNeedsLocking(t *testing.T) {
+	crt := NewCRT()
+	crt.Insert(0x30)
+	alt := NewALT()
+	alt.Record(0x10, 1, true)  // written
+	alt.Record(0x20, 2, false) // read-only
+	alt.Record(0x30, 3, false) // read-only but in CRT
+
+	alt.FinalizeForMode(RetrySCL, crt)
+	want := map[mem.LineAddr]bool{0x10: true, 0x20: false, 0x30: true}
+	for _, e := range alt.Entries() {
+		if e.NeedsLocking != want[e.Addr] {
+			t.Fatalf("S-CL NeedsLocking(%v)=%v, want %v", e.Addr, e.NeedsLocking, want[e.Addr])
+		}
+	}
+
+	alt.FinalizeForMode(RetryNSCL, crt)
+	for _, e := range alt.Entries() {
+		if !e.NeedsLocking {
+			t.Fatalf("NS-CL must lock everything; %v unlocked", e.Addr)
+		}
+	}
+}
+
+// TestALTOrderProperty: any insertion sequence keeps the table sorted by
+// (set, address) — the deadlock-freedom invariant of the lock walk.
+func TestALTOrderProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		alt := NewALT()
+		for _, r := range raw {
+			alt.Record(mem.LineAddr(r), int(r%64), r%3 == 0)
+		}
+		return alt.LockOrderValid() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- CRT -------------------------------------------------------------------
+
+func TestCRTInsertContains(t *testing.T) {
+	crt := NewCRT()
+	if crt.Contains(0x10) {
+		t.Fatal("empty CRT claims containment")
+	}
+	crt.Insert(0x10)
+	if !crt.Contains(0x10) || crt.Len() != 1 {
+		t.Fatal("insert lost")
+	}
+	crt.Insert(0x10)
+	if crt.Len() != 1 {
+		t.Fatal("duplicate insert grew the table")
+	}
+}
+
+func TestCRTSetAssociativeEviction(t *testing.T) {
+	crt := NewCRT()
+	// Fill one set (lines congruent mod crtSets) past its ways.
+	for i := 0; i <= CRTWays; i++ {
+		crt.Insert(mem.LineAddr(i * crtSets))
+	}
+	if crt.Len() != CRTWays {
+		t.Fatalf("set holds %d, want %d", crt.Len(), CRTWays)
+	}
+	if crt.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", crt.Evictions)
+	}
+	// The LRU victim is the first inserted line.
+	if crt.Contains(0) {
+		t.Fatal("LRU entry survived")
+	}
+	if !crt.Contains(mem.LineAddr(CRTWays * crtSets)) {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestCRTLRURefreshOnContains(t *testing.T) {
+	crt := NewCRT()
+	crt.Insert(0) // oldest
+	for i := 1; i < CRTWays; i++ {
+		crt.Insert(mem.LineAddr(i * crtSets))
+	}
+	crt.Contains(0) // refresh
+	crt.Insert(mem.LineAddr(CRTWays * crtSets))
+	if !crt.Contains(0) {
+		t.Fatal("refreshed entry evicted")
+	}
+	if crt.Contains(mem.LineAddr(1 * crtSets)) {
+		t.Fatal("true LRU survived")
+	}
+}
+
+// --- Discovery / decision tree ---------------------------------------------
+
+var testGeom = cache.Geometry{SizeBytes: 8 * 2 * mem.LineSize, Ways: 2}
+
+func TestAssessNSCL(t *testing.T) {
+	d := NewDiscovery()
+	d.Begin()
+	d.RecordAccess(0x10, 1, true, false)
+	d.RecordAccess(0x20, 2, false, false)
+	d.ReachedEnd = true
+	a := d.Assess(testGeom)
+	if !a.Convertible || !a.Immutable || a.Mode != RetryNSCL {
+		t.Fatalf("assessment %+v, want convertible immutable NS-CL", a)
+	}
+}
+
+func TestAssessSCLOnIndirection(t *testing.T) {
+	d := NewDiscovery()
+	d.Begin()
+	d.RecordAccess(0x10, 1, true, true) // indirection
+	d.ReachedEnd = true
+	a := d.Assess(testGeom)
+	if !a.Convertible || a.Immutable || a.Mode != RetrySCL {
+		t.Fatalf("assessment %+v, want convertible mutable S-CL", a)
+	}
+}
+
+func TestAssessBranchIndirection(t *testing.T) {
+	d := NewDiscovery()
+	d.Begin()
+	d.RecordAccess(0x10, 1, true, false)
+	d.RecordBranch(true)
+	d.ReachedEnd = true
+	if a := d.Assess(testGeom); a.Mode != RetrySCL {
+		t.Fatalf("control dependence ignored: mode %v", a.Mode)
+	}
+}
+
+func TestAssessSpeculativeOnSetConflict(t *testing.T) {
+	d := NewDiscovery()
+	d.Begin()
+	// Three lines in the same 2-way set: not simultaneously lockable.
+	sets := testGeom.Sets()
+	for i := 0; i < 3; i++ {
+		d.RecordAccess(mem.LineAddr(1+i*sets), 1, true, false)
+	}
+	d.ReachedEnd = true
+	a := d.Assess(testGeom)
+	if a.Convertible || a.Mode != RetrySpeculative {
+		t.Fatalf("assessment %+v, want non-convertible speculative retry", a)
+	}
+}
+
+func TestAssessFailuresForceSpeculative(t *testing.T) {
+	for _, tweak := range []func(*Discovery){
+		func(d *Discovery) { d.SQOverflow = true },
+		func(d *Discovery) { d.CacheOverflow = true },
+		func(d *Discovery) { d.NonMemAbort = true },
+		func(d *Discovery) { d.ReachedEnd = false },
+		func(d *Discovery) { d.Disable() },
+	} {
+		d := NewDiscovery()
+		d.Begin()
+		d.RecordAccess(0x10, 1, true, false)
+		d.ReachedEnd = true
+		tweak(d)
+		if a := d.Assess(testGeom); a.Convertible || a.Mode != RetrySpeculative {
+			t.Fatalf("impaired discovery still convertible: %+v", a)
+		}
+	}
+}
+
+func TestDiscoveryInactiveRecordsNothing(t *testing.T) {
+	d := NewDiscovery()
+	d.Begin()
+	d.Disable()
+	d.RecordAccess(0x10, 1, true, true)
+	d.RecordBranch(true)
+	if d.ALT.Len() != 0 || d.SawIndirection {
+		t.Fatal("disabled discovery recorded state")
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	if got := StorageOverheadBytes(180); got != 988.5 {
+		t.Fatalf("storage overhead %.1f bytes, want the paper's 988.5", got)
+	}
+}

@@ -1,0 +1,463 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	clear "repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fig1TrackLimit bounds the per-attempt footprint tracking used by the
+// Figure 1 instrumentation: a footprint above 32 lines disqualifies the AR,
+// so tracking one extra line suffices.
+const fig1TrackLimit = clear.ALTEntries + 1
+
+func (c *Core) resetAttemptState() {
+	c.pc = 0
+	for i := range c.regs {
+		c.regs[i] = 0
+	}
+	for _, ri := range c.inv.Regs {
+		c.regs[ri.Reg] = ri.Val
+	}
+	c.indir = 0
+	for k := range c.readSet {
+		delete(c.readSet, k)
+	}
+	for k := range c.writeSet {
+		delete(c.writeSet, k)
+	}
+	c.sq = c.sq[:0]
+	for k := range c.sqForward {
+		delete(c.sqForward, k)
+	}
+	c.pendingAbort = htm.AbortNone
+	c.attemptInstr = 0
+	c.attemptLoads = 0
+	for k := range c.touched {
+		delete(c.touched, k)
+	}
+	for k := range c.failedFetched {
+		delete(c.failedFetched, k)
+	}
+}
+
+// beginAttempt dispatches the next attempt of the current invocation
+// according to the decided retry mode.
+func (c *Core) beginAttempt() {
+	if c.conflictRetries > c.m.Cfg.RetryLimit || c.retryMode == clear.RetryFallback {
+		c.enterFallback()
+		return
+	}
+
+	// MAD/MCAS-style static locking (§2.2): if the footprint is known a
+	// priori, lock it and execute non-speculatively — no discovery, no
+	// retries.
+	if c.m.Cfg.StaticLocking && c.attempt == 0 && c.retryMode == clear.RetrySpeculative &&
+		c.tryStaticFootprint() {
+		c.retryMode = clear.RetryNSCL
+	}
+
+	switch c.retryMode {
+	case clear.RetrySpeculative:
+		c.beginSpeculative()
+	case clear.RetrySCL, clear.RetryNSCL:
+		c.beginCLAttempt()
+	default:
+		panic(fmt.Sprintf("cpu: core %d invalid retry mode %v", c.id, c.retryMode))
+	}
+}
+
+// beginSpeculative starts a plain HTM attempt (XBegin): check the fallback
+// lock, subscribe to its line, set up discovery, and start executing.
+func (c *Core) beginSpeculative() {
+	if !c.m.Fallback.Free() {
+		// Explicit Fallback abort: we wanted to start but the lock is
+		// taken (§7's taxonomy). Counted once per waiting episode; the
+		// retry counter is not incremented (fallback-type abort).
+		if !c.waitedOnLock {
+			c.waitedOnLock = true
+			c.m.Stats.RecordAbort(htm.AbortExplicitFallback)
+		}
+		// Jittered polling so the herd does not stampede when the lock
+		// frees.
+		wait := c.m.Cfg.SpinInterval + sim.Tick(c.rng.Intn(int(c.m.Cfg.SpinInterval)+1))
+		c.engine().Schedule(wait, c.beginAttempt)
+		return
+	}
+	c.waitedOnLock = false
+	c.resetAttemptState()
+	c.mode = ModeSpeculative
+	c.tracef("begin spec attempt=%d retries=%d prog=%s", c.attempt, c.conflictRetries, c.inv.Prog.Name)
+
+	// PowerTM: a transaction that has aborted at least once tries to claim
+	// the power token for its retry.
+	if c.m.Cfg.PowerTM && c.conflictRetries >= 1 && !c.power {
+		if c.m.Power.TryClaim(c.id) {
+			c.power = true
+			c.m.Stats.PowerClaims++
+			c.tracef("power claimed")
+		}
+	}
+
+	// Discovery runs on every invocation's speculative attempt unless the
+	// ERT says the AR is not worth discovering (§4.1, §5.1). Retries that
+	// come back to speculative mode re-run discovery too: the footprint
+	// may differ between invocations but is re-learned each attempt.
+	if c.m.Cfg.CLEAR {
+		c.ertEntry = c.ert.Lookup(c.inv.Prog.ID)
+		if c.ertEntry.DiscoveryEnabled() {
+			c.disc.Begin()
+		} else {
+			c.disc.Disable()
+		}
+	} else {
+		c.disc.Disable()
+	}
+
+	// Subscribe to the fallback lock line: its invalidation is how we learn
+	// that some thread entered the fallback path. The line is hot in the L1
+	// across transactions (only a fallback acquisition invalidates it), so
+	// the subscription is usually a cache hit.
+	c.readSet[c.m.Fallback.Line] = true
+	if c.l1.Access(c.m.Fallback.Line) {
+		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, c.step)
+		return
+	}
+	res := c.m.Dir.Read(c.id, c.m.Fallback.Line, coherence.ReqAttrs{})
+	c.l1Insert(c.m.Fallback.Line)
+	c.engine().Schedule(res.Latency, c.step)
+}
+
+// tryStaticFootprint evaluates the invocation's footprint from its preset
+// registers (isa.EvalFootprint); on success the ALT is pre-filled for an
+// NS-CL-style fully-locked execution. It fails for ARs with indirections or
+// footprints beyond the lockable window — the scope limitation of the
+// multi-address atomic constructs the paper describes in §2.2.
+func (c *Core) tryStaticFootprint() bool {
+	regs := make(map[isa.Reg]uint64, len(c.inv.Regs))
+	for _, ri := range c.inv.Regs {
+		regs[ri.Reg] = ri.Val
+	}
+	accesses, ok := isa.EvalFootprint(c.inv.Prog, regs)
+	if !ok || len(accesses) == 0 || len(accesses) > c.disc.ALT.Cap() {
+		return false
+	}
+	lines := make([]mem.LineAddr, len(accesses))
+	for i, a := range accesses {
+		lines[i] = a.Line
+	}
+	if !cache.FitsSimultaneously(c.m.Cfg.L1, lines) {
+		return false
+	}
+	c.disc.ALT.Reset()
+	for _, a := range accesses {
+		c.disc.ALT.Record(a.Line, c.m.Dir.SetOf(a.Line), a.Written)
+	}
+	c.disc.ALT.FinalizeForMode(clear.RetryNSCL, nil)
+	return true
+}
+
+// l1Insert makes line resident, translating a tracked-line eviction into the
+// appropriate capacity signal for the current mode.
+func (c *Core) l1Insert(line mem.LineAddr) {
+	evicted, didEvict, ok := c.l1.Insert(line)
+	if !ok {
+		// Every way pinned: only reachable in CL modes, where discovery
+		// guaranteed the footprint fits; treat as deviation.
+		c.signalAbort(htm.AbortDeviation)
+		return
+	}
+	if !didEvict {
+		return
+	}
+	c.m.Dir.Evict(c.id, evicted)
+	if c.readSet[evicted] || c.writeSet[evicted] {
+		// A tracked line fell out of the private cache: the speculative
+		// window is exhausted.
+		delete(c.readSet, evicted)
+		delete(c.writeSet, evicted)
+		switch c.mode {
+		case ModeSpeculative:
+			c.signalAbort(htm.AbortCapacity)
+		case ModeFailedDiscovery:
+			c.disc.CacheOverflow = true
+		}
+	}
+}
+
+// trackTouched feeds the Figure 1 footprint instrumentation.
+func (c *Core) trackTouched(line mem.LineAddr) {
+	if len(c.touched) <= fig1TrackLimit {
+		c.touched[line] = true
+	}
+}
+
+// enterFailedMode converts a conflicted discovery attempt into failed-mode
+// continuation: the abort signal is held and execution continues to the end
+// of the AR so discovery can see the whole footprint (§4.1).
+func (c *Core) enterFailedMode(reason htm.AbortReason) {
+	c.heldReason = reason
+	c.mode = ModeFailedDiscovery
+	c.disc.Failed = true
+	c.discStart = c.engine().Now()
+	c.m.Stats.DiscoveryRuns++
+}
+
+// abortNow finalises an aborted attempt: bookkeeping, cleanup, retry-mode
+// decision, and scheduling of the next attempt.
+func (c *Core) abortNow(reason htm.AbortReason) {
+	c.tracef("abort reason=%s pc=%d", reason, c.pc)
+	c.m.Stats.RecordAbort(reason)
+	c.m.Stats.RecordAbortAR(c.inv.Prog.ID, c.inv.Prog.Name)
+	c.m.Stats.AbortedInstructions += c.attemptInstr
+
+	if c.mode == ModeFailedDiscovery {
+		c.m.Stats.DiscoveryCycles += c.engine().Now() - c.discStart
+	}
+
+	// Release CL-mode resources.
+	if c.mode == ModeSCL || c.mode == ModeNSCL {
+		c.m.Dir.UnlockAll(c.id)
+		c.unpinAll()
+		if c.holdsReadLck {
+			c.m.Fallback.ReleaseRead(c.id)
+			c.holdsReadLck = false
+		}
+	}
+
+	c.recordFig1Attempt(false)
+	c.clearTxSets()
+
+	if htm.CountsTowardRetryLimit(reason) {
+		c.conflictRetries++
+	}
+	c.decideRetryMode(reason)
+	// Discovery observation ends with the attempt; the ALT it learned stays
+	// intact for the CL-mode lock walk but must not keep recording.
+	c.disc.Disable()
+	c.mode = ModeIdle
+	c.attempt++
+	c.engine().Schedule(c.m.Cfg.AbortPenalty+c.retryBackoff(), c.beginAttempt)
+}
+
+// retryBackoff returns the randomized exponential backoff for the next
+// attempt: jitter drawn from a window that doubles with each conflict retry
+// (capped), the standard retry-loop policy for best-effort HTM. Cacheline-
+// locked retries skip the backoff: their forward progress comes from
+// locking, and delaying them only widens the window in which the learned
+// footprint can go stale.
+func (c *Core) retryBackoff() sim.Tick {
+	if c.m.Cfg.BackoffBase == 0 {
+		return 0
+	}
+	if c.retryMode == clear.RetrySCL || c.retryMode == clear.RetryNSCL {
+		return 0
+	}
+	shift := c.conflictRetries
+	if shift > 6 {
+		shift = 6
+	}
+	window := int(c.m.Cfg.BackoffBase) << uint(shift)
+	return sim.Tick(c.rng.Intn(window))
+}
+
+// decideRetryMode applies the §4.3 decision tree (Figure 2) for the next
+// attempt, combining the discovery assessment with the abort context.
+func (c *Core) decideRetryMode(reason htm.AbortReason) {
+	if !c.m.Cfg.CLEAR {
+		c.retryMode = clear.RetrySpeculative
+		if reason == htm.AbortCapacity {
+			// Speculative resources cannot support a retry (decision 0).
+			c.retryMode = clear.RetryFallback
+		}
+		return
+	}
+
+	switch c.mode {
+	case ModeSpeculative:
+		// Aborted without completing discovery (capacity, explicit abort,
+		// fallback interference, or discovery disabled).
+		switch reason {
+		case htm.AbortCapacity:
+			if c.ertEntry != nil {
+				c.ertEntry.IsConvertible = false
+			}
+			c.retryMode = clear.RetryFallback
+		case htm.AbortExplicit:
+			// Non-memory-conflict abort: mark non-discoverable (§4.4.2).
+			if c.ertEntry != nil {
+				c.ertEntry.IsConvertible = false
+			}
+			c.retryMode = clear.RetrySpeculative
+		default:
+			c.retryMode = clear.RetrySpeculative
+		}
+
+	case ModeFailedDiscovery:
+		a := c.disc.Assess(c.m.Cfg.L1)
+		if c.ertEntry != nil {
+			if c.disc.SQOverflow || c.disc.CacheOverflow || c.disc.ALT.Overflowed {
+				// Assessment 1 failed: the AR does not fit the speculation
+				// window; mark non-convertible.
+				c.ertEntry.IsConvertible = false
+			}
+			c.ertEntry.IsImmutable = a.Immutable
+		}
+		c.retryMode = a.Mode
+		if a.Mode == clear.RetrySCL || a.Mode == clear.RetryNSCL {
+			c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)
+		}
+
+	case ModeSCL:
+		switch reason {
+		case htm.AbortMemoryConflict:
+			// The CRT learned the conflicting read; retry S-CL with the
+			// wider lock set.
+			c.disc.ALT.FinalizeForMode(clear.RetrySCL, c.crt)
+			c.retryMode = clear.RetrySCL
+		default:
+			// Deviation or other non-conflict failure: the learned
+			// footprint is stale; fall back to a plain speculative retry,
+			// which re-runs discovery.
+			c.retryMode = clear.RetrySpeculative
+		}
+
+	case ModeNSCL:
+		if reason == htm.AbortMemoryConflict {
+			// The lock walk was refused by a prioritised holder; the
+			// learned footprint is still immutable, so NS-CL is retried
+			// once the holder drains.
+			c.retryMode = clear.RetryNSCL
+		} else {
+			// A deviation (immutability misprediction): rediscover.
+			c.retryMode = clear.RetrySpeculative
+		}
+
+	default:
+		c.retryMode = clear.RetrySpeculative
+	}
+}
+
+// effectiveCLMode applies the SCLLockAllReads ablation: when locking all
+// reads, the S-CL lock set is computed like NS-CL's (every learned line).
+func (c *Core) effectiveCLMode(m clear.RetryMode) clear.RetryMode {
+	if m == clear.RetrySCL && c.m.Cfg.SCLLockAllReads {
+		return clear.RetryNSCL
+	}
+	return m
+}
+
+// commitSpeculative finishes a successful speculative (or conflict-free
+// discovery) attempt. The commit point is *now*: the Halt step verified no
+// abort is pending, so the buffered stores become globally visible
+// immediately and the transactional sets are dropped — a remote request
+// arriving during the drain delay must not abort an already-committed
+// transaction. The drain latency only delays this core.
+func (c *Core) commitSpeculative() {
+	drain := c.m.Cfg.CommitStoreLat * sim.Tick(len(c.sq))
+	c.applySQ()
+	c.clearTxSets()
+	c.disc.Disable()
+	c.mode = ModeIdle
+	if c.power {
+		c.m.Power.Release(c.id)
+		c.power = false
+	}
+	if c.ertEntry != nil {
+		c.ertEntry.NoteCommit()
+	}
+	c.m.Stats.Instructions += c.attemptInstr
+	c.tracef("commit spec retries=%d sq=%d", c.conflictRetries, 0)
+	c.m.Stats.RecordCommit(stats.CommitSpeculative, c.conflictRetries)
+	c.recordFig1Attempt(true)
+	c.engine().Schedule(drain, c.finishInvocation)
+}
+
+// clearTxSets drops the transactional read/write sets so remote requests no
+// longer treat this core as a conflicting holder.
+func (c *Core) clearTxSets() {
+	for k := range c.readSet {
+		delete(c.readSet, k)
+	}
+	for k := range c.writeSet {
+		delete(c.writeSet, k)
+	}
+}
+
+// applySQ drains the store queue to memory in program order.
+func (c *Core) applySQ() {
+	for _, s := range c.sq {
+		c.m.Mem.WriteWord(s.addr, s.val)
+	}
+	c.sq = c.sq[:0]
+}
+
+func (c *Core) finishInvocation() {
+	c.m.Stats.RecordLatency(c.engine().Now() - c.invStart)
+	c.mode = ModeIdle
+	c.engine().Schedule(1, c.nextInvocation)
+}
+
+// recordFig1Attempt updates the Figure 1 footprint-pair instrumentation at
+// the end of an attempt. The first aborted attempt captures the reference
+// footprint; the immediately following attempt completes the pair.
+func (c *Core) recordFig1Attempt(committed bool) {
+	switch c.attempt {
+	case 0:
+		if !committed {
+			c.fig1First = make(map[mem.LineAddr]bool, len(c.touched))
+			for l := range c.touched {
+				c.fig1First[l] = true
+			}
+		}
+	case 1:
+		if len(c.fig1First) == 0 || c.fig1Retry != nil {
+			// No reference footprint: the first attempt aborted before
+			// touching memory (e.g. a fallback-lock invalidation at
+			// XBegin); such pairs say nothing about mutability.
+			return
+		}
+		c.fig1Retry = make(map[mem.LineAddr]bool, len(c.touched))
+		for l := range c.touched {
+			c.fig1Retry[l] = true
+		}
+		c.m.Stats.RetryPairs++
+		if c.fig1PairImmutable(committed) {
+			c.m.Stats.ImmutableSmallPairs++
+		}
+	}
+}
+
+// fig1PairImmutable decides whether the (first attempt, first retry) pair
+// shows a small, unchanged footprint: at most 32 lines, and the retry
+// touched exactly the same lines (when the retry ran to completion) or a
+// subset (when it aborted part-way, the strongest property observable).
+func (c *Core) fig1PairImmutable(retryCompleted bool) bool {
+	if len(c.fig1First) > clear.ALTEntries || len(c.fig1First) == 0 {
+		return false
+	}
+	for l := range c.fig1Retry {
+		if !c.fig1First[l] {
+			return false
+		}
+	}
+	if retryCompleted && len(c.fig1Retry) != len(c.fig1First) {
+		return false
+	}
+	return true
+}
+
+func (c *Core) unpinAll() {
+	for _, e := range c.disc.ALT.Entries() {
+		if c.l1.Pinned(e.Addr) {
+			c.l1.Unpin(e.Addr)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/htm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// ptrProg follows a pointer at slot R0 and increments the word behind it —
+// an indirection, so CLEAR can convert it to S-CL but never NS-CL.
+func ptrProg(id int) *isa.Program {
+	b := isa.NewBuilder("test/ptr-add")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Load(isa.R9, isa.R8, 0)
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Store(isa.R8, 0, isa.R9)
+	b.Halt()
+	return b.Build(id)
+}
+
+// wideProg writes n distinct cachelines starting at R0.
+func wideProg(id, n int) *isa.Program {
+	b := isa.NewBuilder("test/wide")
+	for i := 0; i < n; i++ {
+		off := int64(i * mem.LineSize)
+		b.Load(isa.R8, isa.R0, off)
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Store(isa.R0, off, isa.R8)
+	}
+	b.Halt()
+	return b.Build(id)
+}
+
+// buildMachine wires cores feeds of identical invocations.
+func buildMachine(t *testing.T, cfg SystemConfig, memory *mem.Memory, inv Invocation, cores, ops int) *Machine {
+	t.Helper()
+	cfg.Cores = cores
+	m, err := NewMachine(cfg, memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := make([]InvocationSource, cores)
+	for i := range feeds {
+		invs := make([]Invocation, ops)
+		for j := range invs {
+			invs[j] = inv
+		}
+		feeds[i] = &SliceSource{Invs: invs}
+	}
+	m.AttachFeeds(feeds)
+	return m
+}
+
+// TestSCLConversionOnIndirection: a contended AR with an indirection
+// converts to S-CL (not NS-CL) and stops falling back.
+func TestSCLConversionOnIndirection(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	slot := memory.AllocLine()
+	target := memory.AllocLine()
+	memory.WriteWord(slot, uint64(target))
+
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: ptrProg(1),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(slot)}},
+	}, 8, 40)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitSCL] == 0 {
+		t.Fatal("indirection AR never committed in S-CL")
+	}
+	if m.Stats.CommitsByMode[stats.CommitNSCL] != 0 {
+		t.Fatal("indirection AR committed in NS-CL despite the indirection bit")
+	}
+	if got := memory.ReadWord(target); got != 8*40 {
+		t.Fatalf("counter %d, want %d", got, 8*40)
+	}
+}
+
+// TestCapacityAbortGoesToFallback: an AR whose store set exceeds the SQ can
+// never complete speculatively; decision 0 sends it to the fallback path,
+// where it must still commit correctly.
+func TestCapacityAbortGoesToFallback(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	cfg.SQEntries = 8
+	const width = 12 // stores > SQEntries
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: wideProg(1, width),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}},
+	}, 2, 10)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitFallback] != m.Stats.Commits {
+		t.Fatalf("only %d/%d commits took the fallback path",
+			m.Stats.CommitsByMode[stats.CommitFallback], m.Stats.Commits)
+	}
+	if m.Stats.AbortsByBucket[htm.BucketOthers] == 0 {
+		t.Fatal("no capacity aborts recorded")
+	}
+	for i := 0; i < width; i++ {
+		if got := memory.ReadWord(base + mem.Addr(i*mem.LineSize)); got != 2*10 {
+			t.Fatalf("line %d = %d, want 20", i, got)
+		}
+	}
+}
+
+// TestALTOverflowStaysSpeculative: a footprint wider than the ALT (but
+// within the SQ) is non-convertible; with CLEAR on it must never enter a CL
+// mode, and the ERT should disable discovery after the first overflow.
+func TestALTOverflowStaysSpeculative(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	const width = 40 // > 32 ALT entries, < 72 SQ entries
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: wideProg(1, width),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}},
+	}, 4, 15)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitSCL]+m.Stats.CommitsByMode[stats.CommitNSCL] != 0 {
+		t.Fatal("over-wide AR entered a CL mode")
+	}
+	for i := 0; i < width; i++ {
+		if got := memory.ReadWord(base + mem.Addr(i*mem.LineSize)); got != 4*15 {
+			t.Fatalf("line %d = %d, want 60", i, got)
+		}
+	}
+}
+
+// TestDeterminism: identical parameters yield identical statistics.
+func TestDeterminism(t *testing.T) {
+	run := func() (stats.Run, uint64) {
+		memory := mem.NewMemory(0x10000)
+		x := memory.AllocLine()
+		cfg := DefaultSystemConfig()
+		cfg.CLEAR = true
+		cfg.PowerTM = true
+		cfg.Seed = 77
+		m := buildMachine(t, cfg, memory, Invocation{
+			Prog: counterProg(1),
+			Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+		}, 6, 50)
+		if err := m.Run(200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return *m.Stats, memory.ReadWord(x)
+	}
+	s1, v1 := run()
+	s2, v2 := run()
+	if v1 != v2 || s1.Cycles != s2.Cycles || s1.Commits != s2.Commits ||
+		s1.Aborts != s2.Aborts || s1.CommitsByMode != s2.CommitsByMode ||
+		s1.AbortsByBucket != s2.AbortsByBucket || s1.Instructions != s2.Instructions ||
+		s1.AbortedInstructions != s2.AbortedInstructions || s1.LatencyHist != s2.LatencyHist {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestDiscoveryContinuationAblation: with failed-mode continuation disabled,
+// a contended immutable AR cannot learn its footprint and never converts.
+func TestDiscoveryContinuationAblation(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	cfg.DisableDiscoveryContinuation = true
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: counterProg(1),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, 8, 40)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cl := m.Stats.CommitsByMode[stats.CommitSCL] + m.Stats.CommitsByMode[stats.CommitNSCL]; cl != 0 {
+		t.Fatalf("%d CL-mode commits despite disabled discovery continuation", cl)
+	}
+	if got := memory.ReadWord(x); got != 8*40 {
+		t.Fatalf("counter %d, want %d", got, 8*40)
+	}
+}
+
+// TestExplicitFallbackClassification: threads that find the fallback lock
+// taken record Explicit Fallback aborts (Figure 11's taxonomy).
+func TestExplicitFallbackClassification(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.RetryLimit = 1
+	cfg.SQEntries = 4 // wide AR overflows instantly -> constant fallback
+	const width = 8
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: wideProg(1, width),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}},
+	}, 8, 10)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.AbortsByBucket[htm.BucketExplicitFallback] == 0 {
+		t.Fatal("no explicit-fallback aborts under a fallback-saturated workload")
+	}
+}
+
+// TestFig1Instrumentation: an immutable single-line AR under contention
+// produces retry pairs that are overwhelmingly small-and-unchanged.
+func TestFig1Instrumentation(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: counterProg(1),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, 8, 60)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.RetryPairs == 0 {
+		t.Fatal("no retry pairs observed under contention")
+	}
+	ratio := float64(m.Stats.ImmutableSmallPairs) / float64(m.Stats.RetryPairs)
+	if ratio < 0.9 {
+		t.Fatalf("immutable-footprint ratio %.2f for an immutable AR, want ~1", ratio)
+	}
+}
+
+// TestPowerTMReducesFallbacks: under heavy contention PowerTM should commit
+// at least as many transactions outside the fallback path as the baseline.
+func TestPowerTMReducesFallbacks(t *testing.T) {
+	run := func(powertm bool) uint64 {
+		memory := mem.NewMemory(0x10000)
+		x := memory.AllocLine()
+		cfg := DefaultSystemConfig()
+		cfg.PowerTM = powertm
+		cfg.RetryLimit = 2
+		m := buildMachine(t, cfg, memory, Invocation{
+			Prog: counterProg(1),
+			Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+		}, 16, 40)
+		if err := m.Run(400_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.CommitsByMode[stats.CommitFallback]
+	}
+	base := run(false)
+	power := run(true)
+	if power > base {
+		t.Fatalf("PowerTM increased fallbacks: %d vs baseline %d", power, base)
+	}
+}
+
+// TestThinkTimeDelaysStart: invocation think time postpones the AR.
+func TestThinkTimeDelaysStart(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.Cores = 1
+	m, err := NewMachine(cfg, memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := Invocation{
+		Prog:  counterProg(1),
+		Regs:  []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+		Think: 10_000,
+	}
+	m.AttachFeeds([]InvocationSource{&SliceSource{Invs: []Invocation{inv}}})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Cycles < 10_000 {
+		t.Fatalf("run finished in %d cycles despite 10k think time", m.Stats.Cycles)
+	}
+}

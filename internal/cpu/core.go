@@ -1,0 +1,260 @@
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	clear "repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Mode is a core's current execution mode.
+type Mode int
+
+const (
+	// ModeIdle: between invocations.
+	ModeIdle Mode = iota
+	// ModeSpeculative: plain HTM transaction (possibly with discovery
+	// observing, possibly holding the power token).
+	ModeSpeculative
+	// ModeFailedDiscovery: a conflict arrived but discovery continues to
+	// the end of the AR with the abort signal held (§4.2, §5.1).
+	ModeFailedDiscovery
+	// ModeSCL: speculative cacheline-locked re-execution.
+	ModeSCL
+	// ModeNSCL: non-speculative cacheline-locked re-execution.
+	ModeNSCL
+	// ModeFallback: non-speculative execution under the global lock.
+	ModeFallback
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	case ModeSpeculative:
+		return "speculative"
+	case ModeFailedDiscovery:
+		return "failed-discovery"
+	case ModeSCL:
+		return "S-CL"
+	case ModeNSCL:
+		return "NS-CL"
+	case ModeFallback:
+		return "fallback"
+	}
+	return "unknown"
+}
+
+type storeEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+// Core is one simulated hardware thread: interpreter state, transactional
+// state, and CLEAR per-core tables.
+type Core struct {
+	id int
+	m  *Machine
+	l1 *cache.Cache
+
+	feed InvocationSource
+
+	// CLEAR structures (allocated even when CLEAR is off; simply unused).
+	ert  *clear.ERT
+	crt  *clear.CRT
+	disc *clear.Discovery
+
+	// Current invocation.
+	inv             Invocation
+	attempt         int
+	conflictRetries int
+	retryMode       clear.RetryMode
+	ertEntry        *clear.ERTEntry
+	heldReason      htm.AbortReason
+
+	// Figure 1 instrumentation.
+	fig1First map[mem.LineAddr]bool
+	fig1Retry map[mem.LineAddr]bool
+
+	// invStart is when the current invocation's first attempt began
+	// (after think time), for the latency histogram.
+	invStart sim.Tick
+
+	// Attempt state.
+	mode         Mode
+	pc           int
+	regs         [isa.NumRegs]uint64
+	indir        uint32
+	readSet      map[mem.LineAddr]bool
+	writeSet     map[mem.LineAddr]bool
+	sq           []storeEntry
+	sqForward    map[mem.Addr]uint64
+	pendingAbort htm.AbortReason
+	attemptLoads int
+	power        bool
+	holdsReadLck bool
+	attemptInstr uint64
+	discStart    sim.Tick
+	waitedOnLock bool
+
+	// touched records the attempt's distinct lines for Figure 1 (bounded).
+	touched map[mem.LineAddr]bool
+
+	// failedFetched caches lines already fetched by failed-mode loads in
+	// this attempt (they do not install into the coherent L1, but the data
+	// is at hand and re-reads cost a hit, §5.1 "loads are allowed to read
+	// from cache").
+	failedFetched map[mem.LineAddr]bool
+
+	// rng drives retry-backoff jitter; deterministic per (run seed, core).
+	rng *sim.RNG
+
+	done bool
+}
+
+func newCore(id int, m *Machine) *Core {
+	return &Core{
+		id:            id,
+		m:             m,
+		l1:            cache.New(m.Cfg.L1),
+		ert:           clear.NewERTSized(m.Cfg.ERTEntries),
+		crt:           clear.NewCRTSized(m.Cfg.CRTEntries, m.Cfg.CRTWays),
+		disc:          clear.NewDiscoverySized(m.Cfg.ALTEntries),
+		readSet:       make(map[mem.LineAddr]bool),
+		writeSet:      make(map[mem.LineAddr]bool),
+		sqForward:     make(map[mem.Addr]uint64),
+		touched:       make(map[mem.LineAddr]bool),
+		failedFetched: make(map[mem.LineAddr]bool),
+		rng:           sim.NewRNG(m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1),
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Mode returns the core's current execution mode (tests observe it).
+func (c *Core) Mode() Mode { return c.mode }
+
+func (c *Core) engine() *sim.Engine { return c.m.Engine }
+
+func (c *Core) start() {
+	c.engine().Schedule(0, c.nextInvocation)
+}
+
+func (c *Core) nextInvocation() {
+	inv, ok := c.feed.Next()
+	if !ok {
+		c.done = true
+		c.mode = ModeIdle
+		c.m.coreFinished()
+		return
+	}
+	c.inv = inv
+	c.attempt = 0
+	c.conflictRetries = 0
+	c.retryMode = clear.RetrySpeculative
+	c.heldReason = htm.AbortNone
+	c.ertEntry = nil
+	c.fig1First = nil
+	c.fig1Retry = nil
+	c.waitedOnLock = false
+	c.invStart = c.engine().Now() + inv.Think
+	c.engine().Schedule(inv.Think, c.beginAttempt)
+}
+
+// signalAbort delivers an asynchronous abort (from the coherence hook); the
+// first reason wins.
+func (c *Core) signalAbort(r htm.AbortReason) {
+	if c.pendingAbort == htm.AbortNone {
+		c.pendingAbort = r
+	}
+}
+
+// OnRemoteRequest implements coherence.CoreHook: another core wants line.
+// This runs synchronously inside the requester's directory transaction.
+func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs coherence.ReqAttrs) coherence.HolderResponse {
+	inRead := c.readSet[line]
+	inWrite := c.writeSet[line]
+	conflict := (isWrite && (inRead || inWrite)) || (!isWrite && inWrite)
+
+	yield := func() coherence.HolderResponse {
+		if isWrite {
+			c.l1.Remove(line)
+			delete(c.readSet, line)
+			delete(c.writeSet, line)
+		}
+		return coherence.HolderYields
+	}
+
+	if !conflict {
+		return yield()
+	}
+
+	c.tracef("hook line=%s isWrite=%v req=%d conflict=%v", line, isWrite, requester, conflict)
+	switch c.mode {
+	case ModeSpeculative:
+		if isWrite && line == c.m.Fallback.Line {
+			// Another thread is taking the fallback lock out from under our
+			// subscription.
+			c.signalAbort(htm.AbortOtherFallback)
+			return yield()
+		}
+		if attrs.NonSpec {
+			// Non-speculative fallback execution always wins.
+			c.signalAbort(htm.AbortMemoryConflict)
+			return yield()
+		}
+		if c.power && !attrs.Power {
+			// Power-mode holder refuses; the requester aborts (§5.2).
+			return coherence.HolderNacks
+		}
+		// Requester wins.
+		c.signalAbort(htm.AbortMemoryConflict)
+		return yield()
+
+	case ModeFailedDiscovery:
+		// Already failed: nothing more to lose; yield without a new signal.
+		return yield()
+
+	case ModeSCL:
+		// Locked lines are refused at the directory and never reach this
+		// hook, so this is a conflict on one of our speculative (non-
+		// locked) accesses. The S-CL execution aborts — and the CRT learns
+		// the line, so the next S-CL attempt locks it and cannot suffer
+		// the same conflict again (§4.4.2, §5.1: "received an invalidation
+		// that caused a conflict and abort"). The one exception is a
+		// power-mode requester: S-CL and power transactions answer each
+		// other with nacks instead of aborting (§5.2).
+		if c.m.Cfg.PowerTM && attrs.Power {
+			return coherence.HolderNacks
+		}
+		if !attrs.Locking {
+			c.noteConflictingRead(line)
+		}
+		c.signalAbort(htm.AbortMemoryConflict)
+		return yield()
+
+	case ModeNSCL:
+		// NS-CL holds its entire footprint locked, so a conflicting request
+		// can only be a stale set entry; treat as yield.
+		return yield()
+
+	default: // ModeIdle, ModeFallback
+		return yield()
+	}
+}
+
+// noteConflictingRead records line in the CRT: a read that did not require
+// locking but caused a conflict; the next S-CL attempt will lock it (§5.1).
+func (c *Core) noteConflictingRead(line mem.LineAddr) {
+	if !c.m.Cfg.CLEAR {
+		return
+	}
+	if !c.writeSet[line] {
+		c.crt.Insert(line)
+		c.m.Stats.CRTInsertions++
+	}
+}

@@ -1,0 +1,57 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Example runs eight cores incrementing one shared counter atomically under
+// CLEAR: the immutable single-line region converts to NS-CL after its first
+// conflict and every retry succeeds on the first attempt.
+func Example() {
+	memory := mem.NewMemory(0x10000)
+	counter := memory.AllocLine()
+
+	b := isa.NewBuilder("counter/add")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Store(isa.R0, 0, isa.R8)
+	b.Halt()
+	prog := b.Build(1)
+
+	cfg := cpu.DefaultSystemConfig()
+	cfg.Cores = 8
+	cfg.CLEAR = true
+	machine, err := cpu.NewMachine(cfg, memory)
+	if err != nil {
+		panic(err)
+	}
+
+	const ops = 50
+	feeds := make([]cpu.InvocationSource, cfg.Cores)
+	for i := range feeds {
+		invs := make([]cpu.Invocation, ops)
+		for j := range invs {
+			invs[j] = cpu.Invocation{
+				Prog: prog,
+				Regs: []cpu.RegInit{{Reg: isa.R0, Val: uint64(counter)}},
+			}
+		}
+		feeds[i] = &cpu.SliceSource{Invs: invs}
+	}
+	machine.AttachFeeds(feeds)
+	if err := machine.Run(100_000_000); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("counter:", memory.ReadWord(counter))
+	fmt.Println("fallback commits:", machine.Stats.CommitsByMode[3])
+	fmt.Printf("first-retry share: %.0f%%\n", 100*machine.Stats.FirstRetryShare())
+	// Output:
+	// counter: 400
+	// fallback commits: 0
+	// first-retry share: 100%
+}

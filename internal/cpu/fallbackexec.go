@@ -1,0 +1,49 @@
+package cpu
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// simTick converts a length to a tick count for latency arithmetic.
+func simTick(n int) sim.Tick { return sim.Tick(n) }
+
+// enterFallback takes the global-lock path (decision 0 of §4.3): announce a
+// writer claim (blocking new CL read-lockers), wait for the lock, invalidate
+// every subscribed speculative reader via a real coherence write to the lock
+// line, and execute the AR non-speculatively.
+func (c *Core) enterFallback() {
+	c.resetAttemptState()
+	c.mode = ModeFallback
+	if c.power {
+		c.m.Power.Release(c.id)
+		c.power = false
+	}
+	c.m.Fallback.AnnounceWriter(c.id)
+	c.tryAcquireFallbackWrite()
+}
+
+func (c *Core) tryAcquireFallbackWrite() {
+	if !c.m.Fallback.TryAcquireWrite(c.id) {
+		c.engine().Schedule(c.m.Cfg.SpinInterval, c.tryAcquireFallbackWrite)
+		return
+	}
+	// Setting the lock busy requires exclusive permission on the lock line;
+	// the invalidations this write fans out are what abort the subscribed
+	// speculative transactions (§2.1).
+	res := c.m.Dir.Write(c.id, c.m.Fallback.Line, coherence.ReqAttrs{NonSpec: true})
+	c.m.Stats.FallbackAcquisitions++
+	c.engine().Schedule(res.Latency, c.step)
+}
+
+// commitFallback finishes a fallback execution: stores already reached
+// memory, so only the lock release remains.
+func (c *Core) commitFallback() {
+	c.m.Fallback.ReleaseWrite(c.id)
+	c.m.Stats.Instructions += c.attemptInstr
+	c.m.Stats.RecordCommit(stats.CommitFallback, c.conflictRetries)
+	c.m.Stats.RecordCommitAR(c.inv.Prog.ID, c.inv.Prog.Name, stats.CommitFallback)
+	c.recordFig1Attempt(true)
+	c.finishInvocation()
+}

@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// RegInit presets one architectural register before an AR invocation runs —
+// the values the surrounding (non-atomic) code would have computed, e.g.
+// the two slot addresses of an arrayswap.
+type RegInit struct {
+	Reg isa.Reg
+	Val uint64
+}
+
+// Invocation is one dynamic execution of an atomic region.
+type Invocation struct {
+	Prog *isa.Program
+	Regs []RegInit
+	// Think is non-critical work (cycles) executed before entering the AR,
+	// modelling the code between atomic regions.
+	Think sim.Tick
+}
+
+// InvocationSource feeds a core its stream of AR invocations.
+type InvocationSource interface {
+	// Next returns the next invocation, or ok=false when the thread's work
+	// is done.
+	Next() (inv Invocation, ok bool)
+}
+
+// SliceSource serves a pre-generated invocation list.
+type SliceSource struct {
+	Invs []Invocation
+	pos  int
+}
+
+// Next implements InvocationSource.
+func (s *SliceSource) Next() (Invocation, bool) {
+	if s.pos >= len(s.Invs) {
+		return Invocation{}, false
+	}
+	inv := s.Invs[s.pos]
+	s.pos++
+	return inv, true
+}
+
+// FuncSource adapts a generator function to InvocationSource.
+type FuncSource func() (Invocation, bool)
+
+// Next implements InvocationSource.
+func (f FuncSource) Next() (Invocation, bool) { return f() }

@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// longProg builds an AR executing well over n instructions via an
+// immediate-bound loop over a single line (tiny footprint, huge instruction
+// count — fits any HTM, overflows any ROB).
+func longProg(id, iters int) *isa.Program {
+	b := isa.NewBuilder("test/long")
+	b.Li(isa.R1, int64(iters))
+	b.Li(isa.R2, 0)
+	b.Label("loop")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R1, "loop")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Store(isa.R0, 0, isa.R8)
+	b.Halt()
+	return b.Build(id)
+}
+
+// TestSLEWindowForcesFallback: an AR longer than the ROB can never complete
+// speculatively under SLE; every commit must come from the fallback path —
+// and the result must still be correct.
+func TestSLEWindowForcesFallback(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.SLE = true
+	cfg.ROBEntries = 64
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: longProg(1, 100), // ~300 instructions >> 64
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, 4, 10)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitFallback] != m.Stats.Commits {
+		t.Fatalf("%d of %d commits speculative despite ROB overflow",
+			m.Stats.Commits-m.Stats.CommitsByMode[stats.CommitFallback], m.Stats.Commits)
+	}
+	if got := memory.ReadWord(x); got != 4*10 {
+		t.Fatalf("counter %d, want 40", got)
+	}
+}
+
+// TestHTMUnboundedByROB: the same long AR under HTM mode (out-of-core
+// speculation, §4.2) commits speculatively — only the SQ limits it.
+func TestHTMUnboundedByROB(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.ROBEntries = 64 // irrelevant without SLE
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: longProg(1, 100),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, 2, 5)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitSpeculative] == 0 {
+		t.Fatal("no speculative commits under HTM mode")
+	}
+}
+
+// TestSLELoadQueueLimit: an AR reading more lines than the LQ holds cannot
+// complete speculatively under SLE.
+func TestSLELoadQueueLimit(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	const width = 24
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+	// Reads width lines, writes the first.
+	b := isa.NewBuilder("test/widereads")
+	for i := 0; i < width; i++ {
+		b.Load(isa.R8, isa.R0, int64(i*mem.LineSize))
+	}
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Store(isa.R0, int64((width-1)*mem.LineSize), isa.R8)
+	b.Halt()
+	prog := b.Build(1)
+
+	cfg := DefaultSystemConfig()
+	cfg.SLE = true
+	cfg.LQEntries = 16 // < width
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: prog,
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}},
+	}, 2, 5)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitFallback] != m.Stats.Commits {
+		t.Fatal("LQ overflow did not force the fallback path")
+	}
+}
+
+// TestSLEStillConvertsSmallARs: CLEAR over SLE converts a small immutable AR
+// to NS-CL exactly as over HTM.
+func TestSLEStillConvertsSmallARs(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.SLE = true
+	cfg.CLEAR = true
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: counterProg(1),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, 8, 40)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.CommitsByMode[stats.CommitNSCL] == 0 {
+		t.Fatal("CLEAR over SLE never converted the immutable AR")
+	}
+	if got := memory.ReadWord(x); got != 8*40 {
+		t.Fatalf("counter %d, want %d", got, 8*40)
+	}
+}
+
+// TestSizedTables: machines honour the sizing-ablation knobs.
+func TestSizedTables(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	cfg.ALTEntries = 4
+	cfg.ERTEntries = 2
+	cfg.CRTEntries = 16
+	cfg.CRTWays = 4
+	m, err := NewMachine(cfg, memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Cores[0]
+	if c.disc.ALT.Cap() != 4 {
+		t.Fatalf("ALT capacity %d, want 4", c.disc.ALT.Cap())
+	}
+	if c.ert.Size() != 2 {
+		t.Fatalf("ERT size %d, want 2", c.ert.Size())
+	}
+	if c.crt.Size() != 16 {
+		t.Fatalf("CRT size %d, want 16", c.crt.Size())
+	}
+
+	// With a 4-entry ALT, a 6-line AR is non-convertible: no CL commits.
+	const width = 6
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+	feeds := make([]InvocationSource, cfg.Cores)
+	for i := range feeds {
+		invs := make([]Invocation, 10)
+		for j := range invs {
+			invs[j] = Invocation{Prog: wideProg(1, width), Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}}}
+		}
+		feeds[i] = &SliceSource{Invs: invs}
+	}
+	m.AttachFeeds(feeds)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cl := m.Stats.CommitsByMode[stats.CommitSCL] + m.Stats.CommitsByMode[stats.CommitNSCL]; cl != 0 {
+		t.Fatalf("%d CL commits despite undersized ALT", cl)
+	}
+}

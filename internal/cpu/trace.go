@@ -1,0 +1,24 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceWriter, when non-nil on the machine, receives a line per simulator
+// event of interest: attempt starts, memory operations, conflicts, commits,
+// and aborts. It exists for debugging protocol issues and for the
+// cmd/clearinspect -trace mode; production runs leave it nil.
+type tracer struct {
+	w io.Writer
+}
+
+func (m *Machine) SetTrace(w io.Writer) { m.trace = &tracer{w: w} }
+
+func (c *Core) tracef(format string, args ...any) {
+	if c.m.trace == nil {
+		return
+	}
+	fmt.Fprintf(c.m.trace.w, "[%8d] core %2d %-10s ", c.engine().Now(), c.id, c.mode)
+	fmt.Fprintf(c.m.trace.w, format+"\n", args...)
+}

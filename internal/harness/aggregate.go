@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/htm"
+	"repro/internal/stats"
+)
+
+// Aggregate condenses the multi-seed runs of one (benchmark, config,
+// retry-limit) cell using the paper's protocol: a trimmed mean that removes
+// the runs farthest from the median (§6 removes 3 outliers of 10 runs; we
+// scale the trim to the seed count).
+type Aggregate struct {
+	Benchmark string
+	Config    ConfigID
+	// BestRetryLimit is the retry threshold that minimised mean cycles for
+	// this benchmark/config (the paper's per-application design-space
+	// exploration).
+	BestRetryLimit int
+	Seeds          int
+
+	Cycles            float64
+	Energy            float64
+	AbortsPerCommit   float64
+	ModeShares        [stats.NumCommitModes]float64
+	AbortShares       [htm.NumBuckets]float64
+	FirstRetryShare   float64
+	FallbackShare     float64
+	DiscoveryOverhead float64
+	Fig1Ratio         float64
+	Commits           float64
+	Aborts            float64
+}
+
+// trimKeep returns the indices of runs kept by the trimmed mean: with n
+// runs, the ceil(0.3*n) runs whose cycle counts lie farthest from the median
+// are dropped, provided at least two runs remain.
+func trimKeep(cycles []float64) []int {
+	n := len(cycles)
+	drop := (3*n + 9) / 10 // ceil(0.3n): 3 of 10, 1 of 3...
+	if n-drop < 2 {
+		drop = n - 2
+	}
+	if drop <= 0 {
+		keep := make([]int, n)
+		for i := range keep {
+			keep[i] = i
+		}
+		return keep
+	}
+	sorted := append([]float64(nil), cycles...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	type dist struct {
+		idx int
+		d   float64
+	}
+	ds := make([]dist, n)
+	for i, c := range cycles {
+		ds[i] = dist{i, math.Abs(c - median)}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].idx < ds[j].idx
+	})
+	keep := make([]int, 0, n-drop)
+	for _, d := range ds[:n-drop] {
+		keep = append(keep, d.idx)
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// aggregateRuns folds the per-seed results of one cell.
+func aggregateRuns(results []*RunResult) (*Aggregate, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("harness: aggregating zero runs")
+	}
+	cycles := make([]float64, len(results))
+	for i, r := range results {
+		cycles[i] = float64(r.Stats.Cycles)
+	}
+	keep := trimKeep(cycles)
+
+	p := results[0].Params
+	agg := &Aggregate{
+		Benchmark:      p.Benchmark,
+		Config:         p.Config,
+		BestRetryLimit: p.RetryLimit,
+		Seeds:          len(results),
+	}
+	n := float64(len(keep))
+	for _, idx := range keep {
+		r := results[idx]
+		s := r.Stats
+		agg.Cycles += float64(s.Cycles) / n
+		agg.Energy += r.Energy / n
+		agg.AbortsPerCommit += s.AbortsPerCommit() / n
+		agg.Commits += float64(s.Commits) / n
+		agg.Aborts += float64(s.Aborts) / n
+		if s.Commits > 0 {
+			for m := range agg.ModeShares {
+				agg.ModeShares[m] += float64(s.CommitsByMode[m]) / float64(s.Commits) / n
+			}
+		}
+		if s.Aborts > 0 {
+			for b := range agg.AbortShares {
+				agg.AbortShares[b] += float64(s.AbortsByBucket[b]) / float64(s.Aborts) / n
+			}
+		}
+		agg.FirstRetryShare += s.FirstRetryShare() / n
+		agg.FallbackShare += s.FallbackShare() / n
+		agg.DiscoveryOverhead += s.DiscoveryOverhead(r.Params.Cores) / n
+		agg.Fig1Ratio += s.Fig1Ratio() / n
+	}
+	return agg, nil
+}
+
+// geomean returns the geometric mean of strictly positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// mean returns the arithmetic mean.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

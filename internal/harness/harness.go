@@ -1,0 +1,174 @@
+// Package harness runs the paper's experiments: it assembles a simulated
+// machine per (benchmark, configuration) pair, executes the region of
+// interest, verifies workload invariants, aggregates multi-seed statistics
+// with the paper's trimmed-mean protocol, and formats every table and figure
+// of the evaluation section (§6–§7).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ConfigID selects one of the four evaluated configurations (§7).
+type ConfigID int
+
+const (
+	// ConfigB: baseline requester-wins HTM.
+	ConfigB ConfigID = iota
+	// ConfigP: PowerTM.
+	ConfigP
+	// ConfigC: CLEAR over requester-wins.
+	ConfigC
+	// ConfigW: CLEAR over PowerTM.
+	ConfigW
+	// ConfigM: the §2.2 non-speculative baseline — MAD/MCAS-style static
+	// cacheline locking for ARs whose footprint is known a priori,
+	// requester-wins speculation for the rest. Not part of the paper's
+	// four-way comparison; used by the static-locking experiment.
+	ConfigM
+	NumConfigs
+)
+
+// AllConfigs lists the four configurations in presentation order (B P C W).
+var AllConfigs = []ConfigID{ConfigB, ConfigP, ConfigC, ConfigW}
+
+func (c ConfigID) String() string {
+	switch c {
+	case ConfigB:
+		return "B"
+	case ConfigP:
+		return "P"
+	case ConfigC:
+		return "C"
+	case ConfigW:
+		return "W"
+	case ConfigM:
+		return "M"
+	}
+	return "?"
+}
+
+// Description returns the long name used in figure legends.
+func (c ConfigID) Description() string {
+	switch c {
+	case ConfigB:
+		return "requester-wins"
+	case ConfigP:
+		return "PowerTM"
+	case ConfigC:
+		return "CLEAR/requester-wins"
+	case ConfigW:
+		return "CLEAR/PowerTM"
+	case ConfigM:
+		return "static cacheline locking (MAD/MCAS-like)"
+	}
+	return "unknown"
+}
+
+// RunParams fully determines one simulation run.
+type RunParams struct {
+	Benchmark    string
+	Config       ConfigID
+	Cores        int
+	OpsPerThread int
+	RetryLimit   int
+	Seed         uint64
+	// MaxTicks bounds the run; exceeding it is reported as an error
+	// (livelock guard).
+	MaxTicks sim.Tick
+	// SLE selects in-core speculation instead of HTM (§4.1 vs §4.2).
+	SLE bool
+	// Mesh swaps the crossbar for a 2D mesh interconnect.
+	Mesh bool
+	// Ablations.
+	DisableDiscoveryContinuation bool
+	SCLLockAllReads              bool
+	// Table sizing overrides (zero = paper values).
+	ERTEntries, ALTEntries, CRTEntries, CRTWays int
+}
+
+// DefaultRunParams returns laptop-scale defaults: the paper's 32 cores with
+// a workload sized to finish in well under a second of host time.
+func DefaultRunParams(benchmark string, config ConfigID) RunParams {
+	return RunParams{
+		Benchmark:    benchmark,
+		Config:       config,
+		Cores:        32,
+		OpsPerThread: 120,
+		RetryLimit:   4,
+		Seed:         1,
+		MaxTicks:     400_000_000,
+	}
+}
+
+// SystemConfig translates run parameters into the machine configuration.
+func (p RunParams) SystemConfig() cpu.SystemConfig {
+	cfg := cpu.DefaultSystemConfig()
+	cfg.Cores = p.Cores
+	cfg.RetryLimit = p.RetryLimit
+	cfg.CLEAR = p.Config == ConfigC || p.Config == ConfigW
+	cfg.PowerTM = p.Config == ConfigP || p.Config == ConfigW
+	cfg.Seed = p.Seed
+	cfg.SLE = p.SLE
+	cfg.Mesh = p.Mesh
+	cfg.StaticLocking = p.Config == ConfigM
+	cfg.DisableDiscoveryContinuation = p.DisableDiscoveryContinuation
+	cfg.SCLLockAllReads = p.SCLLockAllReads
+	cfg.ERTEntries = p.ERTEntries
+	cfg.ALTEntries = p.ALTEntries
+	cfg.CRTEntries = p.CRTEntries
+	cfg.CRTWays = p.CRTWays
+	return cfg
+}
+
+// RunResult carries everything one simulation produced.
+type RunResult struct {
+	Params RunParams
+	Stats  *stats.Run
+	Dir    coherence.Stats
+	Energy float64
+}
+
+// Run executes one simulation end to end: setup, execution, verification.
+// A verification failure is returned as an error — atomicity was broken.
+func Run(p RunParams) (*RunResult, error) {
+	bench, err := workload.New(p.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	memory := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(p.Seed)
+	if err := bench.Setup(memory, rng, p.Cores); err != nil {
+		return nil, fmt.Errorf("harness: setup %s: %w", p.Benchmark, err)
+	}
+	machine, err := cpu.NewMachine(p.SystemConfig(), memory)
+	if err != nil {
+		return nil, err
+	}
+	feeds := make([]cpu.InvocationSource, p.Cores)
+	for tid := 0; tid < p.Cores; tid++ {
+		feeds[tid] = bench.Source(tid, rng.Split(), p.OpsPerThread)
+	}
+	machine.AttachFeeds(feeds)
+	if err := machine.Run(p.MaxTicks); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", p.Benchmark, p.Config, err)
+	}
+	if err := bench.Verify(memory); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s seed %d: verification failed: %w",
+			p.Benchmark, p.Config, p.Seed, err)
+	}
+	res := &RunResult{
+		Params: p,
+		Stats:  machine.Stats,
+		Dir:    machine.Dir.Stats,
+	}
+	res.Energy = stats.DefaultEnergyModel().Energy(machine.Stats, machine.Dir.Stats, p.Cores)
+	return res, nil
+}

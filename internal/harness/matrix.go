@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MatrixOptions configures a full evaluation sweep: every benchmark under
+// every configuration, with the paper's per-application retry-limit
+// exploration and multi-seed repetition.
+type MatrixOptions struct {
+	Benchmarks   []string
+	Configs      []ConfigID
+	Cores        int
+	OpsPerThread int
+	Seeds        []uint64
+	// RetryLimits is the design-space sweep; the best-performing limit is
+	// selected per (benchmark, config), like the paper's "best of 1 to 10".
+	RetryLimits []int
+	MaxTicks    sim.Tick
+	// Parallelism bounds concurrent simulations (host goroutines).
+	Parallelism int
+	// Ablation switches, applied to every run.
+	DisableDiscoveryContinuation bool
+	SCLLockAllReads              bool
+}
+
+// DefaultMatrixOptions is the full evaluation at laptop scale: all 19
+// benchmarks, 32 simulated cores, three seeds, and a coarse retry sweep.
+func DefaultMatrixOptions() MatrixOptions {
+	return MatrixOptions{
+		Benchmarks:   workload.Names(),
+		Configs:      AllConfigs,
+		Cores:        32,
+		OpsPerThread: 80,
+		Seeds:        []uint64{1, 2, 3},
+		RetryLimits:  []int{1, 2, 4, 8},
+		MaxTicks:     800_000_000,
+		Parallelism:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// QuickMatrixOptions is a reduced sweep for tests and -short benches.
+func QuickMatrixOptions() MatrixOptions {
+	o := DefaultMatrixOptions()
+	o.Cores = 8
+	o.OpsPerThread = 30
+	o.Seeds = []uint64{1}
+	o.RetryLimits = []int{4}
+	return o
+}
+
+// Matrix holds the aggregated cell results of a sweep.
+type Matrix struct {
+	Opts  MatrixOptions
+	Cells map[string]map[ConfigID]*Aggregate
+}
+
+// Cell returns the aggregate for (benchmark, config); nil if absent.
+func (m *Matrix) Cell(bench string, cfg ConfigID) *Aggregate {
+	if row, ok := m.Cells[bench]; ok {
+		return row[cfg]
+	}
+	return nil
+}
+
+// Normalized returns metric(cell)/metric(baseline B cell) for a benchmark.
+func (m *Matrix) Normalized(bench string, cfg ConfigID, metric func(*Aggregate) float64) float64 {
+	base := m.Cell(bench, ConfigB)
+	cell := m.Cell(bench, cfg)
+	if base == nil || cell == nil || metric(base) == 0 {
+		return 0
+	}
+	return metric(cell) / metric(base)
+}
+
+// RunMatrix executes the sweep with a bounded worker pool. Each
+// (benchmark, config, retry-limit) cell runs all seeds; the best retry limit
+// (lowest trimmed-mean cycles) is kept.
+func RunMatrix(opts MatrixOptions) (*Matrix, error) {
+	type jobKey struct {
+		bench string
+		cfg   ConfigID
+		retry int
+	}
+	type jobResult struct {
+		key jobKey
+		agg *Aggregate
+		err error
+	}
+
+	var jobs []jobKey
+	for _, b := range opts.Benchmarks {
+		for _, c := range opts.Configs {
+			for _, r := range opts.RetryLimits {
+				jobs = append(jobs, jobKey{b, c, r})
+			}
+		}
+	}
+
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	jobCh := make(chan jobKey)
+	resCh := make(chan jobResult, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobCh {
+				agg, err := runCell(opts, k.bench, k.cfg, k.retry)
+				resCh <- jobResult{k, agg, err}
+			}
+		}()
+	}
+	for _, k := range jobs {
+		jobCh <- k
+	}
+	close(jobCh)
+	wg.Wait()
+	close(resCh)
+
+	best := make(map[string]map[ConfigID]*Aggregate)
+	for r := range resCh {
+		if r.err != nil {
+			return nil, fmt.Errorf("harness: cell %s/%s retry=%d: %w", r.key.bench, r.key.cfg, r.key.retry, r.err)
+		}
+		row, ok := best[r.key.bench]
+		if !ok {
+			row = make(map[ConfigID]*Aggregate)
+			best[r.key.bench] = row
+		}
+		if cur := row[r.key.cfg]; cur == nil || r.agg.Cycles < cur.Cycles {
+			row[r.key.cfg] = r.agg
+		}
+	}
+	return &Matrix{Opts: opts, Cells: best}, nil
+}
+
+func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggregate, error) {
+	results := make([]*RunResult, 0, len(opts.Seeds))
+	for _, seed := range opts.Seeds {
+		p := RunParams{
+			Benchmark:                    bench,
+			Config:                       cfg,
+			Cores:                        opts.Cores,
+			OpsPerThread:                 opts.OpsPerThread,
+			RetryLimit:                   retry,
+			Seed:                         seed,
+			MaxTicks:                     opts.MaxTicks,
+			DisableDiscoveryContinuation: opts.DisableDiscoveryContinuation,
+			SCLLockAllReads:              opts.SCLLockAllReads,
+		}
+		res, err := Run(p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return aggregateRuns(results)
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The tests in this file encode the paper's qualitative claims — the
+// "shape" this reproduction is accountable for — as executable assertions
+// at a reduced scale (16 cores, one seed). They are the regression net for
+// the headline results in EXPERIMENTS.md.
+
+func shapeRun(t *testing.T, bench string, cfg ConfigID, retry int) *RunResult {
+	t.Helper()
+	p := DefaultRunParams(bench, cfg)
+	p.Cores = 16
+	p.OpsPerThread = 60
+	p.RetryLimit = retry
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShapeCLEARBoundsRetries: §7's headline — under CLEAR the share of
+// retrying ARs that commit on the first retry rises sharply versus the
+// baseline, and the fallback share collapses (Figure 13).
+func TestShapeCLEARBoundsRetries(t *testing.T) {
+	base := shapeRun(t, "mwobject", ConfigB, 4)
+	clear := shapeRun(t, "mwobject", ConfigC, 4)
+	if clear.Stats.FirstRetryShare() <= base.Stats.FirstRetryShare() {
+		t.Fatalf("first-retry share did not improve: B %.2f vs C %.2f",
+			base.Stats.FirstRetryShare(), clear.Stats.FirstRetryShare())
+	}
+	if clear.Stats.FallbackShare() >= base.Stats.FallbackShare() && base.Stats.FallbackShare() > 0 {
+		t.Fatalf("fallback share did not drop: B %.2f vs C %.2f",
+			base.Stats.FallbackShare(), clear.Stats.FallbackShare())
+	}
+	if clear.Stats.FirstRetryShare() < 0.9 {
+		t.Fatalf("immutable hot AR should commit ~always on first retry under CLEAR; got %.2f",
+			clear.Stats.FirstRetryShare())
+	}
+}
+
+// TestShapeCLEARReducesAbortsAndTime: Figure 8/9 direction on the contended
+// data-structure benchmarks the paper highlights.
+func TestShapeCLEARReducesAbortsAndTime(t *testing.T) {
+	for _, bench := range []string{"mwobject", "queue", "intruder", "bitcoin"} {
+		base := shapeRun(t, bench, ConfigB, 4)
+		clear := shapeRun(t, bench, ConfigC, 4)
+		if clear.Stats.AbortsPerCommit() >= base.Stats.AbortsPerCommit() {
+			t.Errorf("%s: aborts/commit not reduced: B %.2f vs C %.2f",
+				bench, base.Stats.AbortsPerCommit(), clear.Stats.AbortsPerCommit())
+		}
+		if float64(clear.Stats.Cycles) > 0.95*float64(base.Stats.Cycles) {
+			t.Errorf("%s: CLEAR not faster: B %d vs C %d cycles",
+				bench, base.Stats.Cycles, clear.Stats.Cycles)
+		}
+	}
+}
+
+// TestShapeOverflowBenchmarksUnaffected: §7 — "in most STAMP benchmarks the
+// size of the read and write sets is too big to allow for discovery";
+// labyrinth's claims must never convert, and its runtime must sit near the
+// baseline.
+func TestShapeOverflowBenchmarksUnaffected(t *testing.T) {
+	base := shapeRun(t, "labyrinth", ConfigB, 4)
+	clear := shapeRun(t, "labyrinth", ConfigC, 4)
+	ratio := float64(clear.Stats.Cycles) / float64(base.Stats.Cycles)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("labyrinth C/B = %.2f, expected ~1 (discovery cannot hold its footprints)", ratio)
+	}
+	if clear.Stats.CommitsByMode[stats.CommitNSCL] != 0 {
+		t.Fatal("labyrinth committed in NS-CL despite >ALT footprints")
+	}
+}
+
+// TestShapeModeSelection: Figure 12 — mwobject lands in NS-CL (immutable),
+// bitcoin in S-CL (likely-immutable indirection) and never NS-CL.
+func TestShapeModeSelection(t *testing.T) {
+	mw := shapeRun(t, "mwobject", ConfigC, 4)
+	if mw.Stats.CommitsByMode[stats.CommitNSCL] == 0 {
+		t.Fatal("mwobject never committed in NS-CL")
+	}
+	btc := shapeRun(t, "bitcoin", ConfigC, 4)
+	if btc.Stats.CommitsByMode[stats.CommitNSCL] != 0 {
+		t.Fatal("bitcoin committed in NS-CL despite its indirection")
+	}
+	if btc.Stats.CommitsByMode[stats.CommitSCL] == 0 {
+		t.Fatal("bitcoin never committed in S-CL")
+	}
+}
+
+// TestShapeContentionVariants: the -h (high-contention) variants abort more
+// than their -l siblings under the baseline.
+func TestShapeContentionVariants(t *testing.T) {
+	kh := shapeRun(t, "kmeans-h", ConfigB, 4)
+	kl := shapeRun(t, "kmeans-l", ConfigB, 4)
+	if kh.Stats.AbortsPerCommit() <= kl.Stats.AbortsPerCommit() {
+		t.Fatalf("kmeans-h (%.2f) not more contended than kmeans-l (%.2f)",
+			kh.Stats.AbortsPerCommit(), kl.Stats.AbortsPerCommit())
+	}
+}
+
+// TestShapeDiscoveryOverheadSmallWhenUnused: yada spends most commits on the
+// first try or in fallback, so discovery overhead stays small (§7).
+func TestShapeDiscoveryOverheadSmallWhenUnused(t *testing.T) {
+	res := shapeRun(t, "yada", ConfigC, 4)
+	if ov := res.Stats.DiscoveryOverhead(16); ov > 0.05 {
+		t.Fatalf("yada discovery overhead %.1f%%, expected small", 100*ov)
+	}
+}
+
+// TestShapeStaticLockingNoAborts: configuration M never aborts on an
+// MCAS-friendly benchmark, and never speculates on its convertible ARs.
+func TestShapeStaticLockingNoAborts(t *testing.T) {
+	res := shapeRun(t, "mwobject", ConfigM, 4)
+	if res.Stats.Aborts != 0 {
+		t.Fatalf("%d aborts under static locking", res.Stats.Aborts)
+	}
+	if res.Stats.CommitsByMode[stats.CommitNSCL] != res.Stats.Commits {
+		t.Fatalf("commit modes %v, want all cacheline-locked", res.Stats.CommitsByMode)
+	}
+}
+
+// TestShapeEnergyFollowsAborts: Figure 10 — CLEAR's energy win comes with
+// its abort reduction on a contended benchmark.
+func TestShapeEnergyFollowsAborts(t *testing.T) {
+	base := shapeRun(t, "queue", ConfigB, 4)
+	clear := shapeRun(t, "queue", ConfigC, 4)
+	if clear.Energy >= base.Energy {
+		t.Fatalf("energy not reduced: B %.0f vs C %.0f", base.Energy, clear.Energy)
+	}
+}
+
+// TestShapeFigure1Immutables: benchmarks whose ARs are small and immutable
+// (or likely immutable) show near-1 Figure 1 ratios; footprint-overflowing
+// benchmarks show near-0.
+func TestShapeFigure1Immutables(t *testing.T) {
+	hi := shapeRun(t, "mwobject", ConfigB, 4)
+	if hi.Stats.RetryPairs > 0 && hi.Stats.Fig1Ratio() < 0.9 {
+		t.Fatalf("mwobject Fig1 ratio %.2f, want ~1", hi.Stats.Fig1Ratio())
+	}
+	lo := shapeRun(t, "labyrinth", ConfigB, 4)
+	if lo.Stats.RetryPairs > 0 && lo.Stats.Fig1Ratio() > 0.5 {
+		t.Fatalf("labyrinth Fig1 ratio %.2f, want small", lo.Stats.Fig1Ratio())
+	}
+}

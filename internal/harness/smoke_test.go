@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// TestSmokeAllBenchmarks runs every benchmark under every configuration at
+// small scale with strict cache/directory consistency assertions enabled,
+// and requires the workload invariants to hold — the whole machine
+// (coherence, HTM, CLEAR, fallback) exercised end to end.
+func TestSmokeAllBenchmarks(t *testing.T) {
+	cpu.StrictChecks = true
+	t.Cleanup(func() { cpu.StrictChecks = false })
+	for _, name := range workload.Names() {
+		for _, cfg := range AllConfigs {
+			name, cfg := name, cfg
+			t.Run(name+"/"+cfg.String(), func(t *testing.T) {
+				p := DefaultRunParams(name, cfg)
+				p.Cores = 8
+				p.OpsPerThread = 40
+				res, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCommits := uint64(p.Cores * p.OpsPerThread)
+				if res.Stats.Commits != wantCommits {
+					t.Fatalf("commits = %d, want %d", res.Stats.Commits, wantCommits)
+				}
+				if res.Stats.Cycles == 0 {
+					t.Fatal("no cycles elapsed")
+				}
+			})
+		}
+	}
+}

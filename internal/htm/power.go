@@ -1,0 +1,54 @@
+package htm
+
+import "fmt"
+
+// PowerToken implements PowerTM's single power-mode transaction (§5.2 and
+// [9]): after its first abort, a transaction may claim the token; while it
+// holds it, conflicts resolve in its favour (remote holders yield to its
+// requests, and its holdings NACK remote requesters). Only one transaction
+// system-wide can be in power mode.
+type PowerToken struct {
+	holder int // core in power mode, or -1
+	// Grants counts successful claims; Denied counts claims that found the
+	// token taken (both feed the stats report).
+	Grants uint64
+	Denied uint64
+}
+
+// NewPowerToken returns a free token.
+func NewPowerToken() *PowerToken { return &PowerToken{holder: -1} }
+
+// Holder returns the core in power mode, or -1.
+func (p *PowerToken) Holder() int { return p.holder }
+
+// Held reports whether any core is in power mode.
+func (p *PowerToken) Held() bool { return p.holder >= 0 }
+
+// TryClaim gives the token to core if it is free.
+func (p *PowerToken) TryClaim(core int) bool {
+	if p.holder >= 0 {
+		if p.holder != core {
+			p.Denied++
+		}
+		return p.holder == core
+	}
+	p.holder = core
+	p.Grants++
+	return true
+}
+
+// Release frees the token; core must hold it. Released at commit and when
+// entering the fallback path.
+func (p *PowerToken) Release(core int) {
+	if p.holder != core {
+		panic(fmt.Sprintf("htm: core %d releasing power token held by %d", core, p.holder))
+	}
+	p.holder = -1
+}
+
+// ReleaseIfHeld frees the token when core holds it; no-op otherwise.
+func (p *PowerToken) ReleaseIfHeld(core int) {
+	if p.holder == core {
+		p.holder = -1
+	}
+}

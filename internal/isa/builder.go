@@ -1,0 +1,153 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels, so workload code reads
+// like assembly rather than index arithmetic.
+type Builder struct {
+	name    string
+	code    []Instr
+	labels  map[string]int
+	fixups  []fixup
+	indirOK bool
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// DeclareIndirectionsImmutable records that this AR's indirection inputs are
+// never concurrently modified (→ LikelyImmutable in Table 1 terms).
+func (b *Builder) DeclareIndirectionsImmutable() *Builder {
+	b.indirOK = true
+	return b
+}
+
+// Label binds name to the next instruction's index.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q in %q", name, b.name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, s1, s2 Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code), label: label})
+	return b.emit(Instr{Op: op, Src1: s1, Src2: s2})
+}
+
+// Nop emits a no-op (models non-memory work inside the AR).
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Li sets dst to an immediate.
+func (b *Builder) Li(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpLoadImm, Dst: dst, Imm: imm})
+}
+
+// Mov copies src to dst.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: OpMov, Dst: dst, Src1: src})
+}
+
+// Load reads the word at [base+off] into dst.
+func (b *Builder) Load(dst, base Reg, off int64) *Builder {
+	return b.emit(Instr{Op: OpLoad, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store writes src to the word at [base+off].
+func (b *Builder) Store(base Reg, off int64, src Reg) *Builder {
+	return b.emit(Instr{Op: OpStore, Src1: base, Imm: off, Src2: src})
+}
+
+// Add sets dst = a + b.
+func (b *Builder) Add(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpAdd, Dst: dst, Src1: a, Src2: c})
+}
+
+// Addi sets dst = a + imm.
+func (b *Builder) Addi(dst, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAddImm, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Sub sets dst = a - b.
+func (b *Builder) Sub(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpSub, Dst: dst, Src1: a, Src2: c})
+}
+
+// Muli sets dst = a * imm.
+func (b *Builder) Muli(dst, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMulImm, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Andi sets dst = a & imm.
+func (b *Builder) Andi(dst, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAndImm, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Shri sets dst = a >> imm.
+func (b *Builder) Shri(dst, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpShrImm, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Xor sets dst = a ^ b.
+func (b *Builder) Xor(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpXor, Dst: dst, Src1: a, Src2: c})
+}
+
+// Beq branches to label when a == b.
+func (b *Builder) Beq(a, c Reg, label string) *Builder { return b.emitBranch(OpBeq, a, c, label) }
+
+// Bne branches to label when a != b.
+func (b *Builder) Bne(a, c Reg, label string) *Builder { return b.emitBranch(OpBne, a, c, label) }
+
+// Blt branches to label when a < b (unsigned).
+func (b *Builder) Blt(a, c Reg, label string) *Builder { return b.emitBranch(OpBlt, a, c, label) }
+
+// Bge branches to label when a >= b (unsigned).
+func (b *Builder) Bge(a, c Reg, label string) *Builder { return b.emitBranch(OpBge, a, c, label) }
+
+// Jump branches unconditionally to label.
+func (b *Builder) Jump(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code), label: label})
+	return b.emit(Instr{Op: OpJump})
+}
+
+// RdTsc reads the cycle counter into dst (a non-determinism source).
+func (b *Builder) RdTsc(dst Reg) *Builder {
+	return b.emit(Instr{Op: OpRdTsc, Dst: dst})
+}
+
+// XAbort emits an explicit abort.
+func (b *Builder) XAbort() *Builder { return b.emit(Instr{Op: OpXAbort}) }
+
+// Halt ends the AR.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// Build resolves labels and returns the validated program. The caller
+// assigns the AR ID.
+func (b *Builder) Build(id int) *Program {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined label %q in %q", f.label, b.name))
+		}
+		b.code[f.instr].Imm = int64(target)
+	}
+	p := &Program{ID: id, Name: b.name, Code: b.code, IndirectionsImmutable: b.indirOK}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,27 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the program with instruction indices and branch
+// targets, for cmd/clearinspect and debugging output.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; AR %d %q (%d instrs)\n", p.ID, p.Name, len(p.Code))
+	targets := make(map[int]bool)
+	for _, in := range p.Code {
+		if in.Op.IsBranch() {
+			targets[int(in.Imm)] = true
+		}
+	}
+	for i, in := range p.Code {
+		marker := "  "
+		if targets[i] {
+			marker = "->"
+		}
+		fmt.Fprintf(&sb, "%s %3d: %s\n", marker, i, in)
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package isa
+
+import "repro/internal/mem"
+
+// FootprintAccess is one statically-determined memory access of an AR.
+type FootprintAccess struct {
+	Line    mem.LineAddr
+	Written bool
+}
+
+// maxFootprintSteps bounds the evaluation (static footprints come from
+// loop-free or immediate-bounded programs; anything longer is not
+// MCAS-friendly anyway).
+const maxFootprintSteps = 4096
+
+// EvalFootprint determines an AR's memory footprint before execution, the
+// way the multi-address atomic proposals of §2.2 (MCAS [33], MAD atomics
+// [16]) require: addresses must be computable from the preset registers
+// alone. It interprets the program's ALU operations concretely, treats every
+// load destination as unknown, and fails (ok=false) as soon as an address or
+// a branch depends on an unknown value — exactly the cases the paper calls
+// indirections. On success it returns the distinct lines touched, each
+// marked with whether any store hits it.
+func EvalFootprint(p *Program, regs map[Reg]uint64) (accesses []FootprintAccess, ok bool) {
+	var vals [NumRegs]uint64
+	var unknown uint32
+	for r, v := range regs {
+		vals[r] = v
+	}
+
+	lineIdx := make(map[mem.LineAddr]int)
+	record := func(addr mem.Addr, written bool) {
+		l := addr.Line()
+		if i, seen := lineIdx[l]; seen {
+			if written {
+				accesses[i].Written = true
+			}
+			return
+		}
+		lineIdx[l] = len(accesses)
+		accesses = append(accesses, FootprintAccess{Line: l, Written: written})
+	}
+
+	isUnknown := func(r Reg) bool { return unknown&(1<<uint(r)) != 0 }
+	setUnknown := func(r Reg, u bool) {
+		if u {
+			unknown |= 1 << uint(r)
+		} else {
+			unknown &^= 1 << uint(r)
+		}
+	}
+
+	pc := 0
+	for steps := 0; steps < maxFootprintSteps; steps++ {
+		if pc < 0 || pc >= len(p.Code) {
+			return nil, false
+		}
+		in := p.Code[pc]
+		switch in.Op {
+		case OpNop:
+		case OpLoadImm:
+			vals[in.Dst] = uint64(in.Imm)
+			setUnknown(in.Dst, false)
+		case OpMov:
+			vals[in.Dst] = vals[in.Src1]
+			setUnknown(in.Dst, isUnknown(in.Src1))
+		case OpAdd:
+			vals[in.Dst] = vals[in.Src1] + vals[in.Src2]
+			setUnknown(in.Dst, isUnknown(in.Src1) || isUnknown(in.Src2))
+		case OpAddImm:
+			vals[in.Dst] = vals[in.Src1] + uint64(in.Imm)
+			setUnknown(in.Dst, isUnknown(in.Src1))
+		case OpSub:
+			vals[in.Dst] = vals[in.Src1] - vals[in.Src2]
+			setUnknown(in.Dst, isUnknown(in.Src1) || isUnknown(in.Src2))
+		case OpMulImm:
+			vals[in.Dst] = vals[in.Src1] * uint64(in.Imm)
+			setUnknown(in.Dst, isUnknown(in.Src1))
+		case OpAndImm:
+			vals[in.Dst] = vals[in.Src1] & uint64(in.Imm)
+			setUnknown(in.Dst, isUnknown(in.Src1))
+		case OpShrImm:
+			vals[in.Dst] = vals[in.Src1] >> uint64(in.Imm)
+			setUnknown(in.Dst, isUnknown(in.Src1))
+		case OpXor:
+			vals[in.Dst] = vals[in.Src1] ^ vals[in.Src2]
+			setUnknown(in.Dst, isUnknown(in.Src1) || isUnknown(in.Src2))
+		case OpRdTsc:
+			setUnknown(in.Dst, true)
+		case OpLoad:
+			if isUnknown(in.Src1) {
+				return nil, false // address depends on a loaded value
+			}
+			record(mem.Addr(vals[in.Src1]+uint64(in.Imm)), false)
+			setUnknown(in.Dst, true)
+		case OpStore:
+			if isUnknown(in.Src1) {
+				return nil, false
+			}
+			record(mem.Addr(vals[in.Src1]+uint64(in.Imm)), true)
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if isUnknown(in.Src1) || isUnknown(in.Src2) {
+				return nil, false // control depends on a loaded value
+			}
+			a, b := vals[in.Src1], vals[in.Src2]
+			taken := false
+			switch in.Op {
+			case OpBeq:
+				taken = a == b
+			case OpBne:
+				taken = a != b
+			case OpBlt:
+				taken = a < b
+			case OpBge:
+				taken = a >= b
+			}
+			if taken {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJump:
+			pc = int(in.Imm)
+			continue
+		case OpXAbort:
+			// An explicitly aborting path has no static completion.
+			return nil, false
+		case OpHalt:
+			return accesses, true
+		default:
+			return nil, false
+		}
+		pc++
+	}
+	return nil, false
+}

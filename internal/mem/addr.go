@@ -1,0 +1,52 @@
+// Package mem models the simulated physical address space: a word-addressed
+// backing store organised in 64-byte cachelines, plus the address arithmetic
+// shared by the cache, directory, and CLEAR's lock tables.
+package mem
+
+import "fmt"
+
+const (
+	// LineSize is the cacheline size in bytes, matching the Icelake-like
+	// configuration of the paper (Table 2).
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// WordSize is the access granularity of the mini-ISA (8 bytes).
+	WordSize = 8
+	// WordsPerLine is the number of 64-bit words in a cacheline.
+	WordsPerLine = LineSize / WordSize
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// LineAddr identifies a cacheline (the address with the offset bits
+// stripped); all coherence and locking state is keyed by LineAddr.
+type LineAddr uint64
+
+// Line returns the cacheline containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Offset returns the byte offset of a within its cacheline.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineSize - 1) }
+
+// WordIndex returns the index of the 64-bit word containing a within its
+// line.
+func (a Addr) WordIndex() int { return int(a.Offset() / WordSize) }
+
+// Aligned reports whether a is 8-byte aligned. The mini-ISA only issues
+// aligned accesses; the CPU checks this invariant.
+func (a Addr) Aligned() bool { return a%WordSize == 0 }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Base returns the first byte address of the line.
+func (l LineAddr) Base() Addr { return Addr(l << LineShift) }
+
+func (l LineAddr) String() string { return fmt.Sprintf("L0x%x", uint64(l)) }
+
+// SetIndex returns the cache/directory set this line maps to, for a
+// structure with numSets sets (numSets must be a power of two).
+func (l LineAddr) SetIndex(numSets int) int {
+	return int(uint64(l) & uint64(numSets-1))
+}

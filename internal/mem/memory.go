@@ -1,0 +1,108 @@
+package mem
+
+import "fmt"
+
+// Memory is the simulated physical memory: a sparse map from cacheline to
+// its 8 words. Functional state lives here; timing and coherence live in the
+// cache and directory models. Reads of never-written lines return zeros,
+// like zero-filled pages.
+type Memory struct {
+	lines map[LineAddr]*[WordsPerLine]uint64
+
+	// next is the allocation cursor used by Alloc.
+	next Addr
+}
+
+// NewMemory returns an empty memory whose allocator starts at base. Keeping
+// workload data away from address zero makes accidental nil-style addresses
+// detectable.
+func NewMemory(base Addr) *Memory {
+	if !base.Aligned() {
+		panic("mem: unaligned allocator base")
+	}
+	return &Memory{
+		lines: make(map[LineAddr]*[WordsPerLine]uint64),
+		next:  base,
+	}
+}
+
+// ReadWord returns the 64-bit word at a, which must be aligned.
+func (m *Memory) ReadWord(a Addr) uint64 {
+	if !a.Aligned() {
+		panic(fmt.Sprintf("mem: unaligned read at %s", a))
+	}
+	line, ok := m.lines[a.Line()]
+	if !ok {
+		return 0
+	}
+	return line[a.WordIndex()]
+}
+
+// WriteWord stores a 64-bit word at a, which must be aligned.
+func (m *Memory) WriteWord(a Addr, v uint64) {
+	if !a.Aligned() {
+		panic(fmt.Sprintf("mem: unaligned write at %s", a))
+	}
+	line, ok := m.lines[a.Line()]
+	if !ok {
+		line = new([WordsPerLine]uint64)
+		m.lines[a.Line()] = line
+	}
+	line[a.WordIndex()] = v
+}
+
+// Alloc reserves size bytes (rounded up to a whole number of words) and
+// returns the base address. The alignment argument must be a power of two
+// no smaller than WordSize; pass LineSize to get line-aligned (padded)
+// allocations, which workloads use to place contended objects on distinct
+// cachelines.
+func (m *Memory) Alloc(size int, alignment int) Addr {
+	if size <= 0 {
+		panic("mem: Alloc with non-positive size")
+	}
+	if alignment < WordSize || alignment&(alignment-1) != 0 {
+		panic("mem: Alloc alignment must be a power of two >= WordSize")
+	}
+	mask := Addr(alignment - 1)
+	base := (m.next + mask) &^ mask
+	words := (size + WordSize - 1) / WordSize
+	m.next = base + Addr(words*WordSize)
+	return base
+}
+
+// AllocWords reserves n 64-bit words with the given alignment.
+func (m *Memory) AllocWords(n int, alignment int) Addr {
+	return m.Alloc(n*WordSize, alignment)
+}
+
+// AllocLine reserves one full line-aligned cacheline and returns its base.
+func (m *Memory) AllocLine() Addr {
+	return m.Alloc(LineSize, LineSize)
+}
+
+// FootprintLines reports how many distinct cachelines have been written.
+func (m *Memory) FootprintLines() int { return len(m.lines) }
+
+// Snapshot copies the content of the given lines; used by the HTM model to
+// roll back speculative state on aborts when stores were drained (only the
+// non-speculative NS-CL path writes memory directly, so in practice this is
+// exercised by tests).
+func (m *Memory) Snapshot(lines []LineAddr) map[LineAddr][WordsPerLine]uint64 {
+	out := make(map[LineAddr][WordsPerLine]uint64, len(lines))
+	for _, l := range lines {
+		if data, ok := m.lines[l]; ok {
+			out[l] = *data
+		} else {
+			out[l] = [WordsPerLine]uint64{}
+		}
+	}
+	return out
+}
+
+// Restore writes back a snapshot taken with Snapshot.
+func (m *Memory) Restore(snap map[LineAddr][WordsPerLine]uint64) {
+	for l, data := range snap {
+		copy := data
+		m.lines[l] = &copy
+	}
+}

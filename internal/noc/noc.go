@@ -1,0 +1,104 @@
+// Package noc models the on-chip interconnect that carries coherence
+// traffic — the stand-in for the paper's GARNET network. Two topologies are
+// provided: the flat crossbar of Table 2 (every core one constant hop from
+// the shared directory) and a 2D mesh with directory banks distributed over
+// the nodes, where the cost of a request depends on the Manhattan distance
+// between the requesting core and the home bank of the line.
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Topology prices core↔directory traversals.
+type Topology interface {
+	// Latency returns the one-way latency for core reaching the home node
+	// of bank (a directory set index or any line-derived bank id).
+	Latency(core, bank int) sim.Tick
+	// Hops returns the link traversals of the same trip (the energy-model
+	// input).
+	Hops(core, bank int) int
+	// Name identifies the topology in reports.
+	Name() string
+}
+
+// Crossbar is the single-hop interconnect of Table 2: every traversal costs
+// the same link latency regardless of endpoints.
+type Crossbar struct {
+	LinkLatency sim.Tick
+}
+
+// NewCrossbar builds the default crossbar.
+func NewCrossbar(link sim.Tick) *Crossbar { return &Crossbar{LinkLatency: link} }
+
+// Latency implements Topology.
+func (c *Crossbar) Latency(core, bank int) sim.Tick { return c.LinkLatency }
+
+// Hops implements Topology.
+func (c *Crossbar) Hops(core, bank int) int { return 1 }
+
+// Name implements Topology.
+func (c *Crossbar) Name() string { return "crossbar" }
+
+// Mesh is a 2D mesh of side×side nodes with XY routing. Cores occupy nodes
+// row-major; directory banks are interleaved over all nodes, so a line's
+// home is bank % (side*side).
+type Mesh struct {
+	side       int
+	PerHop     sim.Tick
+	RouterCost sim.Tick
+}
+
+// NewMesh builds a mesh large enough for cores nodes (the side is the
+// ceiling square root). perHop is the link latency and router the per-node
+// switching cost.
+func NewMesh(cores int, perHop, router sim.Tick) *Mesh {
+	if cores < 1 {
+		panic("noc: mesh needs at least one core")
+	}
+	side := int(math.Ceil(math.Sqrt(float64(cores))))
+	return &Mesh{side: side, PerHop: perHop, RouterCost: router}
+}
+
+// Side returns the mesh dimension.
+func (m *Mesh) Side() int { return m.side }
+
+func (m *Mesh) nodeOf(i int) (x, y int) {
+	n := m.side * m.side
+	i = ((i % n) + n) % n
+	return i % m.side, i / m.side
+}
+
+// Distance returns the Manhattan hop count between core and bank's home
+// node (minimum 1: even a local access crosses the router once).
+func (m *Mesh) Distance(core, bank int) int {
+	cx, cy := m.nodeOf(core)
+	bx, by := m.nodeOf(bank)
+	d := abs(cx-bx) + abs(cy-by)
+	if d == 0 {
+		return 1
+	}
+	return d
+}
+
+// Latency implements Topology.
+func (m *Mesh) Latency(core, bank int) sim.Tick {
+	d := m.Distance(core, bank)
+	return sim.Tick(d)*m.PerHop + m.RouterCost
+}
+
+// Hops implements Topology.
+func (m *Mesh) Hops(core, bank int) int { return m.Distance(core, bank) }
+
+// Name implements Topology.
+func (m *Mesh) Name() string { return fmt.Sprintf("%dx%d-mesh", m.side, m.side) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossbarConstant(t *testing.T) {
+	c := NewCrossbar(6)
+	for core := 0; core < 32; core++ {
+		for bank := 0; bank < 100; bank += 7 {
+			if c.Latency(core, bank) != 6 || c.Hops(core, bank) != 1 {
+				t.Fatalf("crossbar not constant at (%d,%d)", core, bank)
+			}
+		}
+	}
+	if c.Name() != "crossbar" {
+		t.Fatal("name")
+	}
+}
+
+func TestMeshGeometry(t *testing.T) {
+	m := NewMesh(32, 2, 3)
+	if m.Side() != 6 {
+		t.Fatalf("side %d, want 6 (ceil sqrt 32)", m.Side())
+	}
+	if m.Name() != "6x6-mesh" {
+		t.Fatalf("name %q", m.Name())
+	}
+	// Node 0 to node 0's bank: local, still one router crossing.
+	if m.Distance(0, 0) != 1 {
+		t.Fatalf("local distance %d, want 1", m.Distance(0, 0))
+	}
+	// Corner to corner of a 6x6 mesh: 5+5 hops.
+	if d := m.Distance(0, 35); d != 10 {
+		t.Fatalf("corner distance %d, want 10", d)
+	}
+	if lat := m.Latency(0, 35); lat != 10*2+3 {
+		t.Fatalf("corner latency %d, want 23", lat)
+	}
+}
+
+// TestMeshProperties: distances are symmetric, positive, and satisfy the
+// triangle inequality over the node set.
+func TestMeshProperties(t *testing.T) {
+	m := NewMesh(16, 2, 3)
+	n := m.Side() * m.Side()
+	prop := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		dxy, dyx := m.Distance(x, y), m.Distance(y, x)
+		if dxy != dyx || dxy < 1 {
+			return false
+		}
+		// Triangle inequality with the +1 local floor relaxed.
+		return m.Distance(x, z) <= m.Distance(x, y)+m.Distance(y, z)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshBankWrapping(t *testing.T) {
+	m := NewMesh(4, 1, 0) // 2x2
+	// Banks beyond the node count wrap around.
+	if m.Distance(0, 4) != m.Distance(0, 0) {
+		t.Fatal("bank wrapping broken")
+	}
+}

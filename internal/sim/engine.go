@@ -1,0 +1,134 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every timed component of the CLEAR reproduction: cores,
+// caches, the coherence directory, and the interconnect.
+//
+// The engine keeps a binary heap of events ordered by (tick, sequence
+// number). The sequence number makes event ordering total and therefore the
+// whole simulation deterministic: two runs with the same seed produce
+// bit-identical statistics, a property the test suite checks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulated clock, measured in core cycles.
+type Tick uint64
+
+// Event is a callback scheduled to run at a specific tick.
+type Event func()
+
+type scheduledEvent struct {
+	at   Tick
+	seq  uint64
+	call Event
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     Tick
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts how many events have run; exposed for tests and for
+	// the harness's progress accounting.
+	Executed uint64
+}
+
+// NewEngine returns an engine with an empty event queue at tick zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated tick.
+func (e *Engine) Now() Tick { return e.now }
+
+// Schedule runs call after delay ticks. A delay of zero runs the event in
+// the current tick, after all events already scheduled for this tick.
+func (e *Engine) Schedule(delay Tick, call Event) {
+	if call == nil {
+		panic("sim: Schedule called with nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, scheduledEvent{at: e.now + delay, seq: e.seq, call: call})
+}
+
+// ScheduleAt runs call at an absolute tick, which must not be in the past.
+func (e *Engine) ScheduleAt(at Tick, call Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) is in the past (now %d)", at, e.now))
+	}
+	e.Schedule(at-e.now, call)
+}
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the currently running Run or RunUntil call return after the
+// in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event and returns true, or returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(scheduledEvent)
+	e.now = ev.at
+	e.Executed++
+	ev.call()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with tick <= deadline. Events scheduled past the
+// deadline remain queued. It returns true if the queue drained.
+func (e *Engine) RunUntil(deadline Tick) bool {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			return true
+		}
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return false
+		}
+		e.Step()
+	}
+	return len(e.queue) == 0
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTickFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-tick events reordered at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineZeroDelayRunsSameTick(t *testing.T) {
+	e := NewEngine()
+	var at []Tick
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 1 || at[0] != 7 {
+		t.Fatalf("zero-delay event ran at %v, want [7]", at)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 1000 {
+			e.Schedule(1, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("depth %d, want 1000", depth)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("clock %d, want 999", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(100, func() { ran++ })
+	if drained := e.RunUntil(50); drained {
+		t.Fatal("queue should not have drained")
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events before deadline, want 1", ran)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock %d, want 50 (deadline)", e.Now())
+	}
+	if drained := e.RunUntil(1000); !drained {
+		t.Fatal("queue should have drained")
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop: ran %d", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+// TestEnginePropertyMonotonicClock: no event ever observes a clock earlier
+// than a previously executed event, for random delay sequences.
+func TestEnginePropertyMonotonicClock(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Tick(0)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Tick(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Pending() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

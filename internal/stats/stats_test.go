@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/htm"
+)
+
+func TestRecordCommitBuckets(t *testing.T) {
+	var r Run
+	r.RecordCommit(CommitSpeculative, 0)
+	r.RecordCommit(CommitSpeculative, 1)
+	r.RecordCommit(CommitSCL, 1)
+	r.RecordCommit(CommitNSCL, 2)
+	r.RecordCommit(CommitFallback, 9)
+	if r.Commits != 5 {
+		t.Fatalf("commits %d", r.Commits)
+	}
+	if r.CommitsByRetries[0] != 1 || r.CommitsByRetries[1] != 2 || r.CommitsByRetries[2] != 1 {
+		t.Fatalf("retry histogram %v", r.CommitsByRetries)
+	}
+	// Fallback commits never land in the retry histogram.
+	if r.CommitsByRetries[9] != 0 {
+		t.Fatal("fallback commit entered retry histogram")
+	}
+	if r.RetryingCommits() != 4 { // 2 at retry1 + 1 at retry2 + 1 fallback
+		t.Fatalf("retrying commits %d, want 4", r.RetryingCommits())
+	}
+	if got := r.FirstRetryShare(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("first-retry share %v, want 0.5", got)
+	}
+	if got := r.FallbackShare(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("fallback share %v, want 0.25", got)
+	}
+}
+
+func TestRetryOverflowCapped(t *testing.T) {
+	var r Run
+	r.RecordCommit(CommitSpeculative, MaxRetryTrack+10)
+	if r.CommitsByRetries[MaxRetryTrack] != 1 {
+		t.Fatal("deep retry not capped into the last bucket")
+	}
+}
+
+func TestAbortAccounting(t *testing.T) {
+	var r Run
+	r.RecordAbort(htm.AbortMemoryConflict)
+	r.RecordAbort(htm.AbortCapacity)
+	r.RecordAbort(htm.AbortExplicitFallback)
+	r.RecordCommit(CommitSpeculative, 0)
+	if r.AbortsPerCommit() != 3 {
+		t.Fatalf("aborts/commit %v", r.AbortsPerCommit())
+	}
+	if r.AbortsByBucket[htm.BucketMemoryConflict] != 1 ||
+		r.AbortsByBucket[htm.BucketOthers] != 1 ||
+		r.AbortsByBucket[htm.BucketExplicitFallback] != 1 {
+		t.Fatalf("bucket counts %v", r.AbortsByBucket)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var r Run
+	if r.AbortsPerCommit() != 0 || r.FirstRetryShare() != 0 || r.FallbackShare() != 0 ||
+		r.DiscoveryOverhead(32) != 0 || r.Fig1Ratio() != 0 {
+		t.Fatal("zero-denominator metrics must be 0")
+	}
+}
+
+func TestDiscoveryOverhead(t *testing.T) {
+	r := Run{Cycles: 1000, DiscoveryCycles: 3200}
+	if got := r.DiscoveryOverhead(32); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("overhead %v, want 0.1", got)
+	}
+}
+
+func TestEnergyModelComponents(t *testing.T) {
+	m := DefaultEnergyModel()
+	var dir coherence.Stats
+	base := m.Energy(&Run{Cycles: 1000}, dir, 32)
+	if base <= 0 {
+		t.Fatal("static energy missing")
+	}
+	withWork := m.Energy(&Run{Cycles: 1000, Instructions: 5000}, dir, 32)
+	if withWork <= base {
+		t.Fatal("instructions add no dynamic energy")
+	}
+	wasted := m.Energy(&Run{Cycles: 1000, Instructions: 5000, AbortedInstructions: 5000}, dir, 32)
+	if wasted <= withWork {
+		t.Fatal("aborted work adds no dynamic energy")
+	}
+	dir.MemoryFetches = 100
+	withMem := m.Energy(&Run{Cycles: 1000, Instructions: 5000}, dir, 32)
+	if withMem <= withWork {
+		t.Fatal("memory fetches add no energy")
+	}
+	// Longer runs cost more static energy.
+	longer := m.Energy(&Run{Cycles: 2000}, coherence.Stats{}, 32)
+	if longer <= base {
+		t.Fatal("static energy not proportional to cycles")
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	m := DefaultEnergyModel()
+	r := &Run{Cycles: 1000, Instructions: 500, AbortedInstructions: 100, L1Accesses: 300}
+	dir := coherence.Stats{Reads: 50, Writes: 20, Invalidations: 5, MemoryFetches: 9, Hops: 140, Locks: 3, Unlocks: 3}
+	b := m.EnergyBreakdown(r, dir, 8)
+	if got, want := b.Total, m.Energy(r, dir, 8); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("breakdown total %v != Energy %v", got, want)
+	}
+	sum := b.Static + b.Instr + b.L1 + b.Directory + b.Memory + b.Network
+	if math.Abs(sum-b.Total) > 1e-6 {
+		t.Fatal("components do not sum to total")
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var r Run
+	if r.LatencyPercentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile not 0")
+	}
+	// 90 fast invocations (~16 cycles), 10 slow (~4096 cycles).
+	for i := 0; i < 90; i++ {
+		r.RecordLatency(16)
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordLatency(4096)
+	}
+	if p50 := r.LatencyPercentile(0.50); p50 > 64 {
+		t.Fatalf("p50 %d, want <= 64", p50)
+	}
+	if p99 := r.LatencyPercentile(0.99); p99 < 4096 {
+		t.Fatalf("p99 %d, want >= 4096", p99)
+	}
+	// Percentiles are monotone in p.
+	if r.LatencyPercentile(0.2) > r.LatencyPercentile(0.9) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestPerARStats(t *testing.T) {
+	var r Run
+	r.RecordCommitAR(1, "a/x", CommitSCL)
+	r.RecordCommitAR(1, "a/x", CommitSpeculative)
+	r.RecordCommitAR(2, "a/y", CommitFallback)
+	r.RecordAbortAR(1, "a/x")
+	if len(r.PerAR) != 2 {
+		t.Fatalf("%d AR buckets, want 2", len(r.PerAR))
+	}
+	x := r.PerAR[1]
+	if x.Name != "a/x" || x.Commits != 2 || x.Aborts != 1 ||
+		x.CommitsByMode[CommitSCL] != 1 || x.CommitsByMode[CommitSpeculative] != 1 {
+		t.Fatalf("AR bucket %+v", *x)
+	}
+	if r.PerAR[2].CommitsByMode[CommitFallback] != 1 {
+		t.Fatal("fallback commit not recorded per AR")
+	}
+}

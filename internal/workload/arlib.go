@@ -1,0 +1,535 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Register conventions shared by all AR programs:
+//
+//	R0..R5  invocation inputs (addresses, keys, amounts)
+//	R8..R13 temporaries
+//	R14     always zero (never written)
+//
+// Node layout for linked structures (one line-aligned node per element):
+//
+//	+0  key
+//	+8  next (or left)
+//	+16 val  (or right)
+//	+24 aux
+const (
+	offKey  = 0
+	offNext = 8
+	offVal  = 16
+	offAux  = 24
+
+	// BST node layout.
+	offLeft  = 8
+	offRight = 16
+)
+
+// allocNode allocates a line-aligned node and initialises its fields.
+func allocNode(mm *mem.Memory, key, next, val uint64) mem.Addr {
+	n := mm.AllocLine()
+	mm.WriteWord(n+offKey, key)
+	mm.WriteWord(n+offNext, next)
+	mm.WriteWord(n+offVal, val)
+	return n
+}
+
+// buildList builds a singly-linked list (header line holding the head
+// pointer at +0 and a size/aux word at +8) with the given keys in order.
+// It returns the header address.
+func buildList(mm *mem.Memory, keys []uint64) mem.Addr {
+	header := mm.AllocLine()
+	var head uint64
+	for i := len(keys) - 1; i >= 0; i-- {
+		head = uint64(allocNode(mm, keys[i], head, keys[i]))
+	}
+	mm.WriteWord(header+0, head)
+	mm.WriteWord(header+8, uint64(len(keys)))
+	return header
+}
+
+// walkList returns the node addresses of the list at header, guarding
+// against cycles.
+func walkList(mm *mem.Memory, header mem.Addr) ([]mem.Addr, error) {
+	var nodes []mem.Addr
+	cur := mem.Addr(mm.ReadWord(header))
+	for cur != 0 {
+		nodes = append(nodes, cur)
+		if len(nodes) > 1<<22 {
+			return nil, fmt.Errorf("workload: list at %s appears cyclic", header)
+		}
+		cur = mem.Addr(mm.ReadWord(cur + offNext))
+	}
+	return nodes, nil
+}
+
+// buildSortedList builds a sentinel-headed sorted list: header+0 points to a
+// permanent sentinel node with key 0; the given keys (all >= 1, ascending)
+// follow it. Returns the header address.
+func buildSortedList(mm *mem.Memory, keys []uint64) mem.Addr {
+	header := mm.AllocLine()
+	var head uint64
+	for i := len(keys) - 1; i >= 0; i-- {
+		head = uint64(allocNode(mm, keys[i], head, keys[i]))
+	}
+	sentinel := allocNode(mm, 0, head, 0)
+	mm.WriteWord(header+0, uint64(sentinel))
+	return header
+}
+
+// --- Immutable-footprint AR templates -----------------------------------
+
+// arSwap builds the arrayswap AR of Listing 1: exchange the words at the
+// two preset addresses in R0 and R1. No indirection: Immutable.
+func arSwap(id int) *isa.Program {
+	b := isa.NewBuilder("arrayswap/swap")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Load(isa.R9, isa.R1, 0)
+	b.Store(isa.R0, 0, isa.R9)
+	b.Store(isa.R1, 0, isa.R8)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arRotate3 rotates the words at three preset addresses (R0<-R1<-R2<-R0);
+// like arSwap it preserves the array's multiset. Immutable.
+func arRotate3(id int) *isa.Program {
+	b := isa.NewBuilder("arrayswap/rotate3")
+	b.Load(isa.R8, isa.R0, 0)
+	b.Load(isa.R9, isa.R1, 0)
+	b.Load(isa.R10, isa.R2, 0)
+	b.Store(isa.R0, 0, isa.R9)
+	b.Store(isa.R1, 0, isa.R10)
+	b.Store(isa.R2, 0, isa.R8)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arAddDirect builds name: an atomic add of R1 to the word at preset
+// address R0. Immutable.
+func arAddDirect(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)
+	b.Add(isa.R8, isa.R8, isa.R1)
+	b.Store(isa.R0, 0, isa.R8)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arMWObject builds the mwobject AR: four additions to four words in the
+// same cacheline at preset base R0 [12, 13]. Immutable.
+func arMWObject(id int) *isa.Program {
+	b := isa.NewBuilder("mwobject/add4")
+	for w := 0; w < 4; w++ {
+		off := int64(w * 8)
+		b.Load(isa.R8, isa.R0, off)
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Store(isa.R0, off, isa.R8)
+	}
+	b.Halt()
+	return b.Build(id)
+}
+
+// arStridedUpdate builds name: add R2 to n words starting at preset base R0
+// with the given stride. Loop bounds are immediates, so there is no
+// indirection: Immutable (the kmeans centroid-style update).
+func arStridedUpdate(id int, name string, n int, stride int64) *isa.Program {
+	b := isa.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		off := int64(i) * stride
+		b.Load(isa.R8, isa.R0, off)
+		b.Add(isa.R8, isa.R8, isa.R2)
+		b.Store(isa.R0, off, isa.R8)
+	}
+	b.Halt()
+	return b.Build(id)
+}
+
+// --- Likely-immutable AR templates ---------------------------------------
+
+// arPtrTransfer builds the bitcoin AR of Listing 2: move R2 coins between
+// the wallets whose pointers sit in the slots at preset addresses R0 (from)
+// and R1 (to). The wallet pointers are loaded (an indirection), but no
+// concurrent AR ever rewrites the pointer table: LikelyImmutable.
+func arPtrTransfer(id int) *isa.Program {
+	b := isa.NewBuilder("bitcoin/transfer").DeclareIndirectionsImmutable()
+	b.Load(isa.R8, isa.R0, 0) // from-wallet pointer
+	b.Load(isa.R9, isa.R8, 0) // from-balance
+	b.Sub(isa.R9, isa.R9, isa.R2)
+	b.Store(isa.R8, 0, isa.R9)
+	b.Load(isa.R10, isa.R1, 0) // to-wallet pointer
+	b.Load(isa.R11, isa.R10, 0)
+	b.Add(isa.R11, isa.R11, isa.R2)
+	b.Store(isa.R10, 0, isa.R11)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arPtrRMW builds name: follow nPtrs pointers from the preset slot
+// addresses in R0..R(nPtrs-1) and add R5 to the word each one targets.
+// Marked likely-immutable when the pointer slots are never rewritten by
+// concurrent ARs.
+func arPtrRMW(id int, name string, nPtrs int, likely bool) *isa.Program {
+	if nPtrs < 1 || nPtrs > 4 {
+		panic("workload: arPtrRMW supports 1..4 pointers")
+	}
+	b := isa.NewBuilder(name)
+	if likely {
+		b.DeclareIndirectionsImmutable()
+	}
+	for i := 0; i < nPtrs; i++ {
+		slot := isa.Reg(i) // R0..R3
+		b.Load(isa.R8, slot, 0)
+		b.Load(isa.R9, isa.R8, 0)
+		b.Add(isa.R9, isa.R9, isa.R5)
+		b.Store(isa.R8, 0, isa.R9)
+	}
+	b.Halt()
+	return b.Build(id)
+}
+
+// --- Mutable AR templates -------------------------------------------------
+
+// arListSearchCount builds name, Listing 3's traversal: walk the list at
+// header R0 counting nodes with key R1, then store the count to the preset
+// result slot R2. Addresses come from loaded next pointers: Mutable.
+func arListSearchCount(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Li(isa.R9, 0)           // count
+	b.Load(isa.R8, isa.R0, 0) // cur = head
+	b.Label("loop")
+	b.Beq(isa.R8, isa.R14, "done")
+	b.Load(isa.R10, isa.R8, offKey)
+	b.Bne(isa.R10, isa.R1, "next")
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Label("next")
+	b.Load(isa.R8, isa.R8, offNext)
+	b.Jump("loop")
+	b.Label("done")
+	b.Store(isa.R2, 0, isa.R9)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arListInsertSorted builds name: insert the pre-allocated node R2 (key R1,
+// key >= 1) into the sorted list at header R0, keeping ascending key order,
+// and add 1 to the size ledger at preset R3. The list keeps a permanent
+// sentinel first node (key 0), so the predecessor is always a real node.
+// Mutable (the AR modifies its own indirection chain).
+func arListInsertSorted(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)       // prev = sentinel
+	b.Load(isa.R9, isa.R8, offNext) // cur = sentinel.next
+	b.Label("loop")
+	b.Beq(isa.R9, isa.R14, "attach")
+	b.Load(isa.R10, isa.R9, offKey)
+	b.Bge(isa.R10, isa.R1, "attach") // cur.key >= key: insert before cur
+	b.Mov(isa.R8, isa.R9)
+	b.Load(isa.R9, isa.R9, offNext)
+	b.Jump("loop")
+	b.Label("attach")
+	b.Store(isa.R2, offNext, isa.R9) // node.next = cur
+	b.Store(isa.R8, offNext, isa.R2) // prev.next = node
+	b.Load(isa.R11, isa.R3, 0)       // size ledger at preset R3
+	b.Addi(isa.R11, isa.R11, 1)
+	b.Store(isa.R3, 0, isa.R11)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arListInsertUnique builds name: insert the pre-allocated node R2 (key R1
+// >= 1) into the sentinel-headed sorted list at header R0 only if the key is
+// absent, bumping the size ledger at R3 on a real insert. Keys stay unique,
+// so the list is bounded by the key range. Mutable.
+func arListInsertUnique(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)       // prev = sentinel
+	b.Load(isa.R9, isa.R8, offNext) // cur
+	b.Label("loop")
+	b.Beq(isa.R9, isa.R14, "attach")
+	b.Load(isa.R10, isa.R9, offKey)
+	b.Beq(isa.R10, isa.R1, "done") // already present
+	b.Bge(isa.R10, isa.R1, "attach")
+	b.Mov(isa.R8, isa.R9)
+	b.Load(isa.R9, isa.R9, offNext)
+	b.Jump("loop")
+	b.Label("attach")
+	b.Store(isa.R2, offNext, isa.R9)
+	b.Store(isa.R8, offNext, isa.R2)
+	b.Load(isa.R11, isa.R3, 0)
+	b.Addi(isa.R11, isa.R11, 1)
+	b.Store(isa.R3, 0, isa.R11)
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arListPushHead builds name: push the pre-allocated node R2 onto the list
+// at header R0, with an emptiness check branch on the loaded head (a control
+// dependence). The footprint (header line + node line) only changes when the
+// stack flips between empty and non-empty, so benchmarks may declare it
+// likely-immutable.
+func arListPushHead(id int, name string, likely bool) *isa.Program {
+	b := isa.NewBuilder(name)
+	if likely {
+		b.DeclareIndirectionsImmutable()
+	}
+	b.Load(isa.R8, isa.R0, 0) // head
+	b.Beq(isa.R8, isa.R14, "empty")
+	b.Store(isa.R2, offNext, isa.R8)
+	b.Jump("link")
+	b.Label("empty")
+	b.Store(isa.R2, offNext, isa.R14)
+	b.Label("link")
+	b.Store(isa.R0, 0, isa.R2) // head = node
+	b.Load(isa.R9, isa.R3, 0)  // pushed-sum ledger at preset R3
+	b.Add(isa.R9, isa.R9, isa.R1)
+	b.Store(isa.R3, 0, isa.R9) // ledger += value (R1)
+	b.Store(isa.R2, offVal, isa.R1)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arListPopHead builds name: pop the head node of the list at header R0; if
+// non-empty, unlink it and add its value to the taken-sum ledger at preset
+// R3. Mutable: the unlink address comes from the loaded head pointer.
+func arListPopHead(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0) // head
+	b.Beq(isa.R8, isa.R14, "done")
+	b.Load(isa.R9, isa.R8, offNext)
+	b.Store(isa.R0, 0, isa.R9) // head = head.next
+	b.Load(isa.R10, isa.R8, offVal)
+	b.Load(isa.R11, isa.R3, 0)
+	b.Add(isa.R11, isa.R11, isa.R10)
+	b.Store(isa.R3, 0, isa.R11) // ledger += node.val
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arListRemoveKey builds name: remove the first node with key R1 (>= 1)
+// from the sentinel-headed list at header R0, decrementing the size ledger
+// at R3 when a node is unlinked. Mutable.
+func arListRemoveKey(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)       // prev = sentinel
+	b.Load(isa.R9, isa.R8, offNext) // cur = sentinel.next
+	b.Label("loop")
+	b.Beq(isa.R9, isa.R14, "done")
+	b.Load(isa.R10, isa.R9, offKey)
+	b.Beq(isa.R10, isa.R1, "unlink")
+	b.Mov(isa.R8, isa.R9)
+	b.Load(isa.R9, isa.R9, offNext)
+	b.Jump("loop")
+	b.Label("unlink")
+	b.Load(isa.R11, isa.R9, offNext)
+	b.Store(isa.R8, offNext, isa.R11) // prev.next = cur.next
+	b.Load(isa.R12, isa.R3, 0)
+	b.Addi(isa.R12, isa.R12, -1)
+	b.Store(isa.R3, 0, isa.R12)
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arBulkRoute builds name, the labyrinth-style claim: R0 points at a route
+// array of R1 cell addresses; each cell is read and incremented. The cell
+// addresses are loaded (indirection) and the loop bound is a register, so
+// the AR is Mutable; with long routes its footprint overflows the ALT and
+// becomes non-convertible — the paper's "too big to allow for discovery"
+// case.
+func arBulkRoute(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Li(isa.R9, 0) // i = 0
+	b.Label("loop")
+	b.Bge(isa.R9, isa.R1, "done")
+	b.Muli(isa.R10, isa.R9, 8)
+	b.Add(isa.R10, isa.R10, isa.R0)
+	b.Load(isa.R11, isa.R10, 0) // cell address
+	b.Load(isa.R12, isa.R11, 0)
+	b.Addi(isa.R12, isa.R12, 1)
+	b.Store(isa.R11, 0, isa.R12)
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Jump("loop")
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arQueueEnqueue builds name: Michael-Scott-style enqueue into the queue at
+// header R0 (sentinel pointer at +0, tail pointer at +8): link the
+// pre-allocated node R2 carrying value R1 after the current tail and swing
+// the tail, adding R1 to the pushed-sum ledger at R3. The link address comes
+// from the loaded tail pointer (an indirection); following Table 1's
+// judgement the benchmark declares it likely-immutable — between the retries
+// of one enqueue the tail only moves when another enqueue commits.
+func arQueueEnqueue(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name).DeclareIndirectionsImmutable()
+	b.Store(isa.R2, offNext, isa.R14) // node.next = nil
+	b.Store(isa.R2, offVal, isa.R1)
+	b.Load(isa.R8, isa.R0, 8)        // tail
+	b.Store(isa.R8, offNext, isa.R2) // tail.next = node
+	b.Store(isa.R0, 8, isa.R2)       // tail = node
+	b.Load(isa.R9, isa.R3, 0)
+	b.Add(isa.R9, isa.R9, isa.R1)
+	b.Store(isa.R3, 0, isa.R9)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arQueueDequeue builds name: dequeue from the queue at header R0: the
+// sentinel's successor (if any) yields its value — added to the taken-sum
+// ledger at R3 — and becomes the new sentinel. Mutable.
+func arQueueDequeue(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)       // sentinel
+	b.Load(isa.R9, isa.R8, offNext) // first real node
+	b.Beq(isa.R9, isa.R14, "done")
+	b.Load(isa.R10, isa.R9, offVal)
+	b.Store(isa.R0, 0, isa.R9) // first becomes the new sentinel
+	b.Load(isa.R11, isa.R3, 0)
+	b.Add(isa.R11, isa.R11, isa.R10)
+	b.Store(isa.R3, 0, isa.R11)
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arDequePushBottom builds name: Chase-Lev-style owner push into the
+// work-stealing deque with header R0 (top at +0, bottom at +8) and buffer
+// base R4: write value R1 to slot bottom&mask and advance bottom, adding R1
+// to the pushed-sum ledger at R3. The slot address comes from the loaded
+// bottom index, but only the owner thread ever writes bottom, so the
+// indirection source is not concurrently modified: LikelyImmutable.
+func arDequePushBottom(id int, name string, mask int64) *isa.Program {
+	b := isa.NewBuilder(name).DeclareIndirectionsImmutable()
+	b.Load(isa.R8, isa.R0, 8) // bottom
+	b.Andi(isa.R9, isa.R8, mask)
+	b.Muli(isa.R9, isa.R9, 8)
+	b.Add(isa.R9, isa.R9, isa.R4)
+	b.Store(isa.R9, 0, isa.R1) // buffer[bottom&mask] = val
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Store(isa.R0, 8, isa.R8) // bottom++
+	b.Load(isa.R10, isa.R3, 0)
+	b.Add(isa.R10, isa.R10, isa.R1)
+	b.Store(isa.R3, 0, isa.R10)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arDequeSteal builds name: steal from the top of the deque with header R0
+// and buffer base R4: if top < bottom, take buffer[top&mask] (added to the
+// taken-sum ledger at R3) and advance top. Mutable: top and bottom are
+// modified by concurrent ARs.
+func arDequeSteal(id int, name string, mask int64) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0) // top
+	b.Load(isa.R9, isa.R0, 8) // bottom
+	b.Bge(isa.R8, isa.R9, "empty")
+	b.Andi(isa.R10, isa.R8, mask)
+	b.Muli(isa.R10, isa.R10, 8)
+	b.Add(isa.R10, isa.R10, isa.R4)
+	b.Load(isa.R11, isa.R10, 0) // stolen value
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Store(isa.R0, 0, isa.R8) // top++
+	b.Load(isa.R12, isa.R3, 0)
+	b.Add(isa.R12, isa.R12, isa.R11)
+	b.Store(isa.R3, 0, isa.R12)
+	b.Label("empty")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arTreeInsert builds name: insert pre-allocated node R2 (key R1) into the
+// BST whose root pointer lives in the header slot R0+0. The tree keeps a
+// permanent root node, so descent always starts from a real node. Mutable.
+func arTreeInsert(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0) // cur = root (never nil)
+	b.Label("loop")
+	b.Load(isa.R9, isa.R8, offKey)
+	b.Blt(isa.R1, isa.R9, "left")
+	b.Load(isa.R10, isa.R8, offRight)
+	b.Beq(isa.R10, isa.R14, "attachRight")
+	b.Mov(isa.R8, isa.R10)
+	b.Jump("loop")
+	b.Label("left")
+	b.Load(isa.R10, isa.R8, offLeft)
+	b.Beq(isa.R10, isa.R14, "attachLeft")
+	b.Mov(isa.R8, isa.R10)
+	b.Jump("loop")
+	b.Label("attachRight")
+	b.Store(isa.R8, offRight, isa.R2)
+	b.Jump("count")
+	b.Label("attachLeft")
+	b.Store(isa.R8, offLeft, isa.R2)
+	b.Label("count")
+	b.Load(isa.R11, isa.R3, 0) // size ledger
+	b.Addi(isa.R11, isa.R11, 1)
+	b.Store(isa.R3, 0, isa.R11)
+	b.Halt()
+	return b.Build(id)
+}
+
+// arTreeUpdate builds name: find key R1 in the BST at header R0 and, when
+// the match is a leaf, add R5 to its aux word; no-op otherwise. Restricting
+// writes to leaves matches the leaf-oriented record updates of the BST
+// benchmarks [20, 33] — interior nodes (and in particular the root, which
+// every traversal reads) are never written, so one update cannot invalidate
+// the whole system's read sets. Mutable.
+func arTreeUpdate(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Load(isa.R8, isa.R0, 0)
+	b.Label("loop")
+	b.Beq(isa.R8, isa.R14, "done")
+	b.Load(isa.R9, isa.R8, offKey)
+	b.Beq(isa.R9, isa.R1, "found")
+	b.Blt(isa.R1, isa.R9, "left")
+	b.Load(isa.R8, isa.R8, offRight)
+	b.Jump("loop")
+	b.Label("left")
+	b.Load(isa.R8, isa.R8, offLeft)
+	b.Jump("loop")
+	b.Label("found")
+	b.Load(isa.R11, isa.R8, offLeft)
+	b.Bne(isa.R11, isa.R14, "done")
+	b.Load(isa.R11, isa.R8, offRight)
+	b.Bne(isa.R11, isa.R14, "done")
+	b.Load(isa.R10, isa.R8, offAux)
+	b.Add(isa.R10, isa.R10, isa.R5)
+	b.Store(isa.R8, offAux, isa.R10)
+	b.Label("done")
+	b.Halt()
+	return b.Build(id)
+}
+
+// arTreeSearch builds name: look up key R1 in the BST at header R0, storing
+// 1/0 (found) into the preset result slot R2. Mutable (traversal).
+func arTreeSearch(id int, name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Li(isa.R11, 0)
+	b.Load(isa.R8, isa.R0, 0)
+	b.Label("loop")
+	b.Beq(isa.R8, isa.R14, "done")
+	b.Load(isa.R9, isa.R8, offKey)
+	b.Bne(isa.R9, isa.R1, "descend")
+	b.Li(isa.R11, 1)
+	b.Jump("done")
+	b.Label("descend")
+	b.Blt(isa.R1, isa.R9, "left")
+	b.Load(isa.R8, isa.R8, offRight)
+	b.Jump("loop")
+	b.Label("left")
+	b.Load(isa.R8, isa.R8, offLeft)
+	b.Jump("loop")
+	b.Label("done")
+	b.Store(isa.R2, 0, isa.R11)
+	b.Halt()
+	return b.Build(id)
+}

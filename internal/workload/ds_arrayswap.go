@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("arrayswap", func() Benchmark { return newArrayswap() }) }
+
+// arrayswap [15]: threads atomically exchange (or rotate) elements of a
+// shared array. Both ARs access only preset addresses — the Immutable
+// archetype of Listing 1.
+type arrayswap struct {
+	swap    *isa.Program
+	rotate  *isa.Program
+	slots   []mem.Addr
+	initial []uint64
+}
+
+func newArrayswap() *arrayswap {
+	return &arrayswap{
+		swap:   arSwap(1),
+		rotate: arRotate3(2),
+	}
+}
+
+func (a *arrayswap) Name() string        { return "arrayswap" }
+func (a *arrayswap) ARs() []*isa.Program { return []*isa.Program{a.swap, a.rotate} }
+
+func (a *arrayswap) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	const n = 96 // hot enough for conflicts at 32 threads
+	a.slots = make([]mem.Addr, n)
+	a.initial = make([]uint64, n)
+	for i := range a.slots {
+		a.slots[i] = mm.AllocLine()
+		a.initial[i] = 1000 + uint64(i)
+		mm.WriteWord(a.slots[i], a.initial[i])
+	}
+	return nil
+}
+
+func (a *arrayswap) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	pick := func(rng *sim.RNG, exclude ...int) int {
+		for {
+			i := rng.Intn(len(a.slots))
+			ok := true
+			for _, e := range exclude {
+				if i == e {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return i
+			}
+		}
+	}
+	return buildMix(rng, ops, 120, []mixEntry{
+		{weight: 70, gen: func(rng *sim.RNG) cpu.Invocation {
+			i := pick(rng)
+			j := pick(rng, i)
+			return cpu.Invocation{Prog: a.swap, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(a.slots[i])},
+				cpu.RegInit{Reg: isa.R1, Val: uint64(a.slots[j])},
+			)}
+		}},
+		{weight: 30, gen: func(rng *sim.RNG) cpu.Invocation {
+			i := pick(rng)
+			j := pick(rng, i)
+			k := pick(rng, i, j)
+			return cpu.Invocation{Prog: a.rotate, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(a.slots[i])},
+				cpu.RegInit{Reg: isa.R1, Val: uint64(a.slots[j])},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(a.slots[k])},
+			)}
+		}},
+	})
+}
+
+func (a *arrayswap) Verify(mm *mem.Memory) error {
+	got := make([]uint64, len(a.slots))
+	for i, s := range a.slots {
+		got[i] = mm.ReadWord(s)
+	}
+	want := append([]uint64(nil), a.initial...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("arrayswap: element multiset changed at rank %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("bitcoin", func() Benchmark { return newBitcoin() }) }
+
+// bitcoin [23]: transfers between wallets reached through a pointer table —
+// Listing 2's conditionally-immutable AR: the wallet addresses are loaded
+// inside the region, but no concurrent AR ever rewrites the pointer table.
+type bitcoin struct {
+	transfer *isa.Program
+	table    mem.Addr
+	wallets  []mem.Addr
+	total    uint64
+}
+
+func newBitcoin() *bitcoin { return &bitcoin{transfer: arPtrTransfer(1)} }
+
+func (b *bitcoin) Name() string        { return "bitcoin" }
+func (b *bitcoin) ARs() []*isa.Program { return []*isa.Program{b.transfer} }
+
+func (b *bitcoin) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	const n = 64
+	const initialBalance = 1_000_000
+	b.table = mm.AllocWords(n, mem.LineSize)
+	b.wallets = make([]mem.Addr, n)
+	for i := 0; i < n; i++ {
+		w := mm.AllocLine()
+		b.wallets[i] = w
+		mm.WriteWord(w, initialBalance)
+		mm.WriteWord(b.table+mem.Addr(i*8), uint64(w))
+	}
+	b.total = uint64(n) * initialBalance
+	return nil
+}
+
+func (b *bitcoin) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	n := len(b.wallets)
+	return buildMix(rng, ops, 150, []mixEntry{
+		{weight: 1, gen: func(rng *sim.RNG) cpu.Invocation {
+			from := rng.Intn(n)
+			to := rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			amount := uint64(1 + rng.Intn(50))
+			return cpu.Invocation{Prog: b.transfer, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(b.table + mem.Addr(from*8))},
+				cpu.RegInit{Reg: isa.R1, Val: uint64(b.table + mem.Addr(to*8))},
+				cpu.RegInit{Reg: isa.R2, Val: amount},
+			)}
+		}},
+	})
+}
+
+func (b *bitcoin) Verify(mm *mem.Memory) error {
+	var sum uint64
+	for _, w := range b.wallets {
+		sum += mm.ReadWord(w)
+	}
+	if sum != b.total {
+		return fmt.Errorf("bitcoin: total balance %d, want %d (coins created or destroyed)", sum, b.total)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("bst", func() Benchmark { return newBST() }) }
+
+// bst [20, 33]: a binary search tree exercised with inserts, in-place
+// updates, and lookups. All three ARs traverse loaded pointers — Mutable in
+// Table 1 — yet while the tree is small they convert to S-CL at runtime,
+// the surprise the paper notes for Figure 12.
+type bst struct {
+	insert *isa.Program
+	update *isa.Program
+	search *isa.Program
+
+	mm          *mem.Memory
+	header      mem.Addr
+	rootKey     uint64
+	led         ledgers
+	results     []mem.Addr
+	initialSize int
+	inserts     uint64
+	keyRange    int
+}
+
+func newBST() *bst {
+	return &bst{
+		insert:   arTreeInsert(1, "bst/insert"),
+		update:   arTreeUpdate(2, "bst/update"),
+		search:   arTreeSearch(3, "bst/search"),
+		keyRange: 1024,
+	}
+}
+
+func (b *bst) Name() string        { return "bst" }
+func (b *bst) ARs() []*isa.Program { return []*isa.Program{b.insert, b.update, b.search} }
+
+// goInsert mirrors arTreeInsert's semantics for host-side seeding: duplicate
+// or larger keys descend right, smaller descend left.
+func goInsert(mm *mem.Memory, root mem.Addr, node mem.Addr, key uint64) {
+	cur := root
+	for {
+		ck := mm.ReadWord(cur + offKey)
+		if key < ck {
+			l := mm.ReadWord(cur + offLeft)
+			if l == 0 {
+				mm.WriteWord(cur+offLeft, uint64(node))
+				return
+			}
+			cur = mem.Addr(l)
+		} else {
+			r := mm.ReadWord(cur + offRight)
+			if r == 0 {
+				mm.WriteWord(cur+offRight, uint64(node))
+				return
+			}
+			cur = mem.Addr(r)
+		}
+	}
+}
+
+func allocTreeNode(mm *mem.Memory, key uint64) mem.Addr {
+	n := mm.AllocLine()
+	mm.WriteWord(n+offKey, key)
+	return n
+}
+
+func (b *bst) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	b.mm = mm
+	b.header = mm.AllocLine()
+	b.rootKey = uint64(b.keyRange / 2)
+	root := allocTreeNode(mm, b.rootKey)
+	mm.WriteWord(b.header, uint64(root))
+
+	const seedNodes = 255
+	for i := 0; i < seedNodes; i++ {
+		k := uint64(1 + rng.Intn(b.keyRange))
+		goInsert(mm, root, allocTreeNode(mm, k), k)
+	}
+	b.initialSize = 1 + seedNodes
+
+	b.led = newLedgers(mm, threads)
+	b.results = make([]mem.Addr, threads)
+	for i := range b.results {
+		b.results[i] = mm.AllocLine()
+	}
+	return nil
+}
+
+func (b *bst) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	sizeLedger := uint64(b.led.slot(tid, 0))
+	result := uint64(b.results[tid])
+	key := func(rng *sim.RNG) uint64 { return uint64(1 + rng.Intn(b.keyRange)) }
+	src := buildMix(rng, ops, 150, []mixEntry{
+		{weight: 35, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := key(rng)
+			return cpu.Invocation{Prog: b.insert, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(b.header)},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(0)}, // node; filled below
+				cpu.RegInit{Reg: isa.R3, Val: sizeLedger},
+			)}
+		}},
+		{weight: 35, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: b.update, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(b.header)},
+				cpu.RegInit{Reg: isa.R1, Val: key(rng)},
+				cpu.RegInit{Reg: isa.R5, Val: uint64(1 + rng.Intn(9))},
+			)}
+		}},
+		{weight: 30, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: b.search, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(b.header)},
+				cpu.RegInit{Reg: isa.R1, Val: key(rng)},
+				cpu.RegInit{Reg: isa.R2, Val: result},
+			)}
+		}},
+	})
+	// Pre-allocate a fresh node for every insert invocation (the node
+	// address must be fixed across retries, like the host code's malloc
+	// before the atomic region).
+	for i := range src.Invs {
+		inv := &src.Invs[i]
+		if inv.Prog == b.insert {
+			k := inv.Regs[1].Val
+			inv.Regs[2].Val = uint64(allocTreeNode(b.mm, k))
+			b.inserts++
+		}
+	}
+	return src
+}
+
+func (b *bst) Verify(mm *mem.Memory) error {
+	root := mem.Addr(mm.ReadWord(b.header))
+	count := 0
+	var walk func(n mem.Addr, lo, hi uint64) error
+	walk = func(n mem.Addr, lo, hi uint64) error {
+		if n == 0 {
+			return nil
+		}
+		count++
+		if count > 1<<22 {
+			return fmt.Errorf("bst: tree appears cyclic")
+		}
+		k := mm.ReadWord(n + offKey)
+		if k < lo || k > hi {
+			return fmt.Errorf("bst: key %d at %s violates BST bounds [%d,%d]", k, n, lo, hi)
+		}
+		if err := walk(mem.Addr(mm.ReadWord(n+offLeft)), lo, k-1); err != nil {
+			return err
+		}
+		return walk(mem.Addr(mm.ReadWord(n+offRight)), k, hi)
+	}
+	if err := walk(root, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	want := b.initialSize + int(b.inserts)
+	if count != want {
+		return fmt.Errorf("bst: %d nodes reachable, want %d", count, want)
+	}
+	if got := b.led.sum(mm, 0); got != b.inserts {
+		return fmt.Errorf("bst: insert ledger %d, want %d", got, b.inserts)
+	}
+	return nil
+}

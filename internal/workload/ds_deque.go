@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("deque", func() Benchmark { return newDeque() }) }
+
+const (
+	dequeCap  = 1024
+	dequeMask = dequeCap - 1
+)
+
+// deque [7, 11, 20, 24, 25]: per-thread Chase-Lev work-stealing deques. The
+// owner's pushBottom indirects through its own bottom index
+// (likely-immutable); steal races on the shared top index — Mutable.
+type deque struct {
+	push  *isa.Program
+	steal *isa.Program
+
+	mm      *mem.Memory
+	headers []mem.Addr
+	buffers []mem.Addr
+	led     ledgers // word 0: pushed-sum, word 1: taken-sum
+	threads int
+}
+
+func newDeque() *deque {
+	return &deque{
+		push:  arDequePushBottom(1, "deque/pushBottom", dequeMask),
+		steal: arDequeSteal(2, "deque/steal", dequeMask),
+	}
+}
+
+func (d *deque) Name() string        { return "deque" }
+func (d *deque) ARs() []*isa.Program { return []*isa.Program{d.push, d.steal} }
+
+func (d *deque) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	d.mm = mm
+	d.threads = threads
+	d.headers = make([]mem.Addr, threads)
+	d.buffers = make([]mem.Addr, threads)
+	for i := 0; i < threads; i++ {
+		d.headers[i] = mm.AllocLine()
+		d.buffers[i] = mm.AllocWords(dequeCap, mem.LineSize)
+	}
+	d.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (d *deque) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	if ops > dequeCap {
+		// The ring is not resizable; the owner never pushes more than its
+		// capacity in one run.
+		ops = dequeCap
+	}
+	pushed := uint64(d.led.slot(tid, 0))
+	taken := uint64(d.led.slot(tid, 1))
+	return buildMix(rng, ops, 120, []mixEntry{
+		{weight: 50, gen: func(rng *sim.RNG) cpu.Invocation {
+			val := uint64(1 + rng.Intn(100))
+			return cpu.Invocation{Prog: d.push, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(d.headers[tid])},
+				cpu.RegInit{Reg: isa.R1, Val: val},
+				cpu.RegInit{Reg: isa.R3, Val: pushed},
+				cpu.RegInit{Reg: isa.R4, Val: uint64(d.buffers[tid])},
+			)}
+		}},
+		{weight: 50, gen: func(rng *sim.RNG) cpu.Invocation {
+			victim := rng.Intn(d.threads)
+			return cpu.Invocation{Prog: d.steal, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(d.headers[victim])},
+				cpu.RegInit{Reg: isa.R3, Val: taken},
+				cpu.RegInit{Reg: isa.R4, Val: uint64(d.buffers[victim])},
+			)}
+		}},
+	})
+}
+
+func (d *deque) Verify(mm *mem.Memory) error {
+	var remaining uint64
+	for i := range d.headers {
+		top := mm.ReadWord(d.headers[i] + 0)
+		bottom := mm.ReadWord(d.headers[i] + 8)
+		if top > bottom {
+			return fmt.Errorf("deque %d: top %d > bottom %d", i, top, bottom)
+		}
+		if bottom-top > dequeCap {
+			return fmt.Errorf("deque %d: %d items exceed capacity", i, bottom-top)
+		}
+		for idx := top; idx < bottom; idx++ {
+			remaining += mm.ReadWord(d.buffers[i] + mem.Addr((idx&dequeMask)*8))
+		}
+	}
+	pushed := d.led.sum(mm, 0)
+	taken := d.led.sum(mm, 1)
+	if pushed-taken != remaining {
+		return fmt.Errorf("deque: pushed %d - taken %d = %d, but %d remains",
+			pushed, taken, pushed-taken, remaining)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("hashmap", func() Benchmark { return newHashmap() }) }
+
+// hashmap [8, 18]: a chained hash table; the bucket is picked (hashed)
+// outside the AR, and the chain — a sentinel-headed sorted list — is
+// traversed inside it. All three ARs are Mutable.
+type hashmap struct {
+	insert *isa.Program
+	remove *isa.Program
+	lookup *isa.Program
+
+	mm          *mem.Memory
+	buckets     []mem.Addr // chain headers
+	led         ledgers    // word 0: net inserted (insert +1, remove -1)
+	results     []mem.Addr
+	initialSize int
+	keyRange    int
+	nbuckets    int
+}
+
+func newHashmap() *hashmap {
+	return &hashmap{
+		insert:   arListInsertSorted(1, "hashmap/insert"),
+		remove:   arListRemoveKey(2, "hashmap/remove"),
+		lookup:   arListSearchCount(3, "hashmap/lookup"),
+		keyRange: 512,
+		nbuckets: 32,
+	}
+}
+
+func (h *hashmap) Name() string        { return "hashmap" }
+func (h *hashmap) ARs() []*isa.Program { return []*isa.Program{h.insert, h.remove, h.lookup} }
+
+func (h *hashmap) bucketOf(key uint64) int { return int(key) % h.nbuckets }
+
+func (h *hashmap) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	h.mm = mm
+	h.buckets = make([]mem.Addr, h.nbuckets)
+	perBucket := make([][]uint64, h.nbuckets)
+	const seed = 192
+	for i := 0; i < seed; i++ {
+		k := uint64(1 + rng.Intn(h.keyRange))
+		b := h.bucketOf(k)
+		perBucket[b] = append(perBucket[b], k)
+	}
+	for b := range h.buckets {
+		keys := perBucket[b]
+		// Chains must be sorted for arListInsertSorted.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		h.buckets[b] = buildSortedList(mm, keys)
+	}
+	h.initialSize = seed
+	h.led = newLedgers(mm, threads)
+	h.results = make([]mem.Addr, threads)
+	for i := range h.results {
+		h.results[i] = mm.AllocLine()
+	}
+	return nil
+}
+
+func (h *hashmap) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	net := uint64(h.led.slot(tid, 0))
+	result := uint64(h.results[tid])
+	key := func(rng *sim.RNG) uint64 { return uint64(1 + rng.Intn(h.keyRange)) }
+	src := buildMix(rng, ops, 160, []mixEntry{
+		{weight: 40, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := key(rng)
+			return cpu.Invocation{Prog: h.insert, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(h.buckets[h.bucketOf(k)])},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(0)}, // node; filled below
+				cpu.RegInit{Reg: isa.R3, Val: net},
+			)}
+		}},
+		{weight: 30, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := key(rng)
+			return cpu.Invocation{Prog: h.remove, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(h.buckets[h.bucketOf(k)])},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R3, Val: net},
+			)}
+		}},
+		{weight: 30, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := key(rng)
+			return cpu.Invocation{Prog: h.lookup, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(h.buckets[h.bucketOf(k)])},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R2, Val: result},
+			)}
+		}},
+	})
+	for i := range src.Invs {
+		inv := &src.Invs[i]
+		if inv.Prog == h.insert {
+			k := inv.Regs[1].Val
+			inv.Regs[2].Val = uint64(allocNode(h.mm, k, 0, k))
+		}
+	}
+	return src
+}
+
+func (h *hashmap) Verify(mm *mem.Memory) error {
+	total := 0
+	for b, header := range h.buckets {
+		nodes, err := walkList(mm, header)
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i, n := range nodes {
+			k := mm.ReadWord(n + offKey)
+			if k < prev {
+				return fmt.Errorf("hashmap: bucket %d unsorted at node %d", b, i)
+			}
+			if i > 0 && h.bucketOf(k) != b {
+				return fmt.Errorf("hashmap: key %d found in bucket %d, hashes to %d", k, b, h.bucketOf(k))
+			}
+			prev = k
+		}
+		total += len(nodes) - 1 // exclude sentinel
+	}
+	net := int64(h.led.sum(mm, 0))
+	if int64(total) != int64(h.initialSize)+net {
+		return fmt.Errorf("hashmap: %d nodes, want initial %d + net %d", total, h.initialSize, net)
+	}
+	return nil
+}

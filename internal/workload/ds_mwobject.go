@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("mwobject", func() Benchmark { return newMWObject() }) }
+
+// mwobject [12, 13]: every thread performs four additions to four words that
+// share one cacheline. The single AR is Immutable and tiny, and contention
+// is maximal — the paper's best case for NS-CL (Figure 12).
+type mwobject struct {
+	add4   *isa.Program
+	object mem.Addr
+	ops    uint64
+}
+
+func newMWObject() *mwobject { return &mwobject{add4: arMWObject(1)} }
+
+func (m *mwobject) Name() string        { return "mwobject" }
+func (m *mwobject) ARs() []*isa.Program { return []*isa.Program{m.add4} }
+
+func (m *mwobject) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	m.object = mm.AllocLine()
+	return nil
+}
+
+func (m *mwobject) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	m.ops += uint64(ops)
+	return buildMix(rng, ops, 80, []mixEntry{
+		{weight: 1, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: m.add4, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(m.object)},
+			)}
+		}},
+	})
+}
+
+func (m *mwobject) Verify(mm *mem.Memory) error {
+	for w := 0; w < 4; w++ {
+		got := mm.ReadWord(m.object + mem.Addr(w*8))
+		if got != m.ops {
+			return fmt.Errorf("mwobject: word %d is %d, want %d (lost updates)", w, got, m.ops)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("queue", func() Benchmark { return newQueue() }) }
+
+// queue [20, 33]: a Michael-Scott-style two-lock-free queue with a sentinel
+// node. Enqueue links through the loaded tail pointer (likely-immutable per
+// Table 1); dequeue advances the sentinel — Mutable.
+type queue struct {
+	enq *isa.Program
+	deq *isa.Program
+
+	mm     *mem.Memory
+	header mem.Addr // +0 sentinel pointer, +8 tail pointer
+	led    ledgers  // word 0: pushed-sum, word 1: taken-sum
+}
+
+func newQueue() *queue {
+	return &queue{
+		enq: arQueueEnqueue(1, "queue/enqueue"),
+		deq: arQueueDequeue(2, "queue/dequeue"),
+	}
+}
+
+func (q *queue) Name() string        { return "queue" }
+func (q *queue) ARs() []*isa.Program { return []*isa.Program{q.enq, q.deq} }
+
+func (q *queue) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	q.mm = mm
+	q.header = mm.AllocLine()
+	sentinel := allocNode(mm, 0, 0, 0)
+	mm.WriteWord(q.header+0, uint64(sentinel))
+	mm.WriteWord(q.header+8, uint64(sentinel))
+	q.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (q *queue) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	pushed := uint64(q.led.slot(tid, 0))
+	taken := uint64(q.led.slot(tid, 1))
+	return buildMix(rng, ops, 100, []mixEntry{
+		{weight: 55, gen: func(rng *sim.RNG) cpu.Invocation {
+			val := uint64(1 + rng.Intn(100))
+			node := allocNode(q.mm, val, 0, 0)
+			return cpu.Invocation{Prog: q.enq, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(q.header)},
+				cpu.RegInit{Reg: isa.R1, Val: val},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
+				cpu.RegInit{Reg: isa.R3, Val: pushed},
+			)}
+		}},
+		{weight: 45, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: q.deq, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(q.header)},
+				cpu.RegInit{Reg: isa.R3, Val: taken},
+			)}
+		}},
+	})
+}
+
+func (q *queue) Verify(mm *mem.Memory) error {
+	sentinel := mem.Addr(mm.ReadWord(q.header + 0))
+	var remaining uint64
+	last := sentinel
+	cur := mem.Addr(mm.ReadWord(sentinel + offNext))
+	steps := 0
+	for cur != 0 {
+		remaining += mm.ReadWord(cur + offVal)
+		last = cur
+		cur = mem.Addr(mm.ReadWord(cur + offNext))
+		if steps++; steps > 1<<22 {
+			return fmt.Errorf("queue: list appears cyclic")
+		}
+	}
+	if tail := mem.Addr(mm.ReadWord(q.header + 8)); tail != last {
+		return fmt.Errorf("queue: tail %s does not point at last node %s", tail, last)
+	}
+	pushed := q.led.sum(mm, 0)
+	taken := q.led.sum(mm, 1)
+	if pushed-taken != remaining {
+		return fmt.Errorf("queue: pushed %d - taken %d = %d, but %d remains queued",
+			pushed, taken, pushed-taken, remaining)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("sorted-list", func() Benchmark { return newSortedList() }) }
+
+// sorted-list [20]: an ordered linked list. The traversal of Listing 3
+// (count) and the sorted insert are Mutable; a third AR updates the
+// benchmark's operation counter directly — the one Immutable region Table 1
+// reports.
+type sortedList struct {
+	count   *isa.Program
+	insert  *isa.Program
+	bumpOps *isa.Program
+
+	mm          *mem.Memory
+	header      mem.Addr
+	opsCounter  mem.Addr
+	led         ledgers // word 0: inserts
+	results     []mem.Addr
+	initialSize int
+	bumps       uint64
+	keyRange    int
+}
+
+func newSortedList() *sortedList {
+	return &sortedList{
+		count:    arListSearchCount(1, "sorted-list/count"),
+		insert:   arListInsertUnique(2, "sorted-list/insert"),
+		bumpOps:  arAddDirect(3, "sorted-list/op-counter"),
+		keyRange: 56,
+	}
+}
+
+func (s *sortedList) Name() string { return "sorted-list" }
+func (s *sortedList) ARs() []*isa.Program {
+	return []*isa.Program{s.count, s.insert, s.bumpOps}
+}
+
+func (s *sortedList) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	s.mm = mm
+	// Seed with half the key space, keys unique (the insert AR preserves
+	// uniqueness, bounding the list by the key range).
+	var keys []uint64
+	for k := 1; k <= s.keyRange; k++ {
+		if rng.Intn(2) == 0 {
+			keys = append(keys, uint64(k))
+		}
+	}
+	s.header = buildSortedList(mm, keys)
+	s.initialSize = len(keys)
+	s.opsCounter = mm.AllocLine()
+	s.led = newLedgers(mm, threads)
+	s.results = make([]mem.Addr, threads)
+	for i := range s.results {
+		s.results[i] = mm.AllocLine()
+	}
+	return nil
+}
+
+func (s *sortedList) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	sizeLedger := uint64(s.led.slot(tid, 0))
+	result := uint64(s.results[tid])
+	src := buildMix(rng, ops, 180, []mixEntry{
+		{weight: 40, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: s.count, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(s.header)},
+				cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(s.keyRange))},
+				cpu.RegInit{Reg: isa.R2, Val: result},
+			)}
+		}},
+		{weight: 40, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := uint64(1 + rng.Intn(s.keyRange))
+			return cpu.Invocation{Prog: s.insert, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(s.header)},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(0)}, // node; filled below
+				cpu.RegInit{Reg: isa.R3, Val: sizeLedger},
+			)}
+		}},
+		{weight: 20, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: s.bumpOps, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(s.opsCounter)},
+				cpu.RegInit{Reg: isa.R1, Val: 1},
+			)}
+		}},
+	})
+	for i := range src.Invs {
+		inv := &src.Invs[i]
+		switch inv.Prog {
+		case s.insert:
+			k := inv.Regs[1].Val
+			inv.Regs[2].Val = uint64(allocNode(s.mm, k, 0, k))
+		case s.bumpOps:
+			s.bumps++
+		}
+	}
+	return src
+}
+
+func (s *sortedList) Verify(mm *mem.Memory) error {
+	nodes, err := walkList(mm, s.header)
+	if err != nil {
+		return err
+	}
+	// nodes[0] is the sentinel (key 0); real keys must be strictly
+	// ascending (unique-insert discipline).
+	prev := uint64(0)
+	for i, n := range nodes {
+		k := mm.ReadWord(n + offKey)
+		if i > 0 && k <= prev {
+			return fmt.Errorf("sorted-list: order/uniqueness violated at node %d: %d after %d", i, k, prev)
+		}
+		prev = k
+	}
+	got := len(nodes) - 1 // exclude sentinel
+	want := s.initialSize + int(s.led.sum(mm, 0))
+	if got != want {
+		return fmt.Errorf("sorted-list: %d nodes, want %d (initial %d + ledger)", got, want, s.initialSize)
+	}
+	if c := mm.ReadWord(s.opsCounter); c != s.bumps {
+		return fmt.Errorf("sorted-list: op counter %d, want %d", c, s.bumps)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("stack", func() Benchmark { return newStack() }) }
+
+// stack [20]: a Treiber-style stack. Push's footprint (header + new node)
+// only changes across the empty/non-empty transition, so Table 1 judges it
+// likely-immutable; pop unlinks through the loaded head — Mutable.
+type stack struct {
+	push *isa.Program
+	pop  *isa.Program
+
+	mm     *mem.Memory
+	header mem.Addr
+	led    ledgers // word 0: pushed-sum, word 1: taken-sum
+}
+
+func newStack() *stack {
+	return &stack{
+		push: arListPushHead(1, "stack/push", true),
+		pop:  arListPopHead(2, "stack/pop"),
+	}
+}
+
+func (s *stack) Name() string        { return "stack" }
+func (s *stack) ARs() []*isa.Program { return []*isa.Program{s.push, s.pop} }
+
+func (s *stack) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	s.mm = mm
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(1 + rng.Intn(100))
+	}
+	s.header = buildList(mm, keys)
+	// buildList stored values = keys; the conservation baseline counts them
+	// as pre-pushed value.
+	s.led = newLedgers(mm, threads)
+	var pre uint64
+	for _, k := range keys {
+		pre += k
+	}
+	mm.WriteWord(s.led.slot(0, 0), pre) // seed pushed-sum with initial content
+	return nil
+}
+
+func (s *stack) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	pushed := uint64(s.led.slot(tid, 0))
+	taken := uint64(s.led.slot(tid, 1))
+	return buildMix(rng, ops, 100, []mixEntry{
+		{weight: 50, gen: func(rng *sim.RNG) cpu.Invocation {
+			val := uint64(1 + rng.Intn(100))
+			node := allocNode(s.mm, val, 0, val)
+			return cpu.Invocation{Prog: s.push, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(s.header)},
+				cpu.RegInit{Reg: isa.R1, Val: val},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
+				cpu.RegInit{Reg: isa.R3, Val: pushed},
+			)}
+		}},
+		{weight: 50, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: s.pop, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(s.header)},
+				cpu.RegInit{Reg: isa.R3, Val: taken},
+			)}
+		}},
+	})
+}
+
+func (s *stack) Verify(mm *mem.Memory) error {
+	nodes, err := walkList(mm, s.header)
+	if err != nil {
+		return err
+	}
+	var remaining uint64
+	for _, n := range nodes {
+		remaining += mm.ReadWord(n + offVal)
+	}
+	pushed := s.led.sum(mm, 0)
+	taken := s.led.sum(mm, 1)
+	if pushed-taken != remaining {
+		return fmt.Errorf("stack: pushed %d - taken %d = %d, but %d remains on the stack",
+			pushed, taken, pushed-taken, remaining)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package workload
+
+import "repro/internal/mem"
+
+// ledgers gives each simulated thread one private cacheline of counter
+// words. ARs update ledger words *inside* the atomic region, so after the
+// run the ledgers and the data structures form a closed system that Verify
+// can check exactly (conservation), regardless of interleaving.
+type ledgers struct {
+	lines []mem.Addr
+}
+
+func newLedgers(mm *mem.Memory, threads int) ledgers {
+	l := ledgers{lines: make([]mem.Addr, threads)}
+	for i := range l.lines {
+		l.lines[i] = mm.AllocLine()
+	}
+	return l
+}
+
+// slot returns the address of word w (0..7) of thread tid's ledger line.
+func (l ledgers) slot(tid, w int) mem.Addr {
+	return l.lines[tid] + mem.Addr(w*8)
+}
+
+// sum adds word w across all threads (modular uint64 arithmetic, so
+// decrements recorded as two's-complement work out).
+func (l ledgers) sum(mm *mem.Memory, w int) uint64 {
+	var s uint64
+	for tid := range l.lines {
+		s += mm.ReadWord(l.slot(tid, w))
+	}
+	return s
+}

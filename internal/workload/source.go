@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// opGen generates one invocation of a particular AR with fresh parameters.
+type opGen func(rng *sim.RNG) cpu.Invocation
+
+// mixEntry pairs an operation generator with its relative weight in the
+// benchmark's operation mix.
+type mixEntry struct {
+	weight int
+	gen    opGen
+}
+
+// buildMix pre-generates ops invocations drawn from the weighted mix. The
+// stream is pre-generated (not lazy) so the benchmark can record exact
+// per-operation expectations for Verify before the run starts.
+func buildMix(rng *sim.RNG, ops int, thinkMax int, entries []mixEntry) *cpu.SliceSource {
+	total := 0
+	for _, e := range entries {
+		total += e.weight
+	}
+	invs := make([]cpu.Invocation, 0, ops)
+	for i := 0; i < ops; i++ {
+		pick := rng.Intn(total)
+		var gen opGen
+		for _, e := range entries {
+			if pick < e.weight {
+				gen = e.gen
+				break
+			}
+			pick -= e.weight
+		}
+		inv := gen(rng)
+		if thinkMax > 0 {
+			inv.Think = sim.Tick(rng.Intn(thinkMax))
+		}
+		invs = append(invs, inv)
+	}
+	return &cpu.SliceSource{Invs: invs}
+}
+
+// regs is shorthand for building an invocation's register presets.
+func regs(pairs ...cpu.RegInit) []cpu.RegInit { return pairs }

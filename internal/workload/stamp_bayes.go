@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("bayes", func() Benchmark { return newBayes() }) }
+
+// bayes: Bayesian-network structure learning. The synthetic kernel keeps the
+// shape Table 1 reports — fourteen ARs, five likely-immutable (score/count
+// updates through a read-only node-pointer table) and nine mutable (task
+// list and adjacency/candidate list manipulation).
+type bayes struct {
+	kit
+	// Mutable ARs.
+	pushTask, popTask, scanTask *isa.Program
+	insEdge, remEdge, scanEdge  *isa.Program
+	insCand, remCand, scanCand  *isa.Program
+	// Likely-immutable ARs.
+	updScore, updLogLik, incParent *isa.Program
+	touchNode, refreshPrior        *isa.Program
+
+	taskList, edgeList, candList mem.Addr
+	scores                       ptrTable
+	led                          ledgers // 0 taskPush, 1 taskPop, 2 edgeNet, 3 candNet
+	results                      []mem.Addr
+
+	initialTasks, initialEdges, initialCands int
+	pushes                                   uint64
+	ptrExpect                                uint64
+	keyRange                                 int
+}
+
+func newBayes() *bayes {
+	return &bayes{
+		pushTask:     arListPushHead(1, "bayes/pushTask", false),
+		popTask:      arListPopHead(2, "bayes/popTask"),
+		scanTask:     arListSearchCount(3, "bayes/scanTasks"),
+		insEdge:      arListInsertSorted(4, "bayes/insertEdge"),
+		remEdge:      arListRemoveKey(5, "bayes/removeEdge"),
+		scanEdge:     arListSearchCount(6, "bayes/scanEdges"),
+		insCand:      arListInsertSorted(7, "bayes/insertCandidate"),
+		remCand:      arListRemoveKey(8, "bayes/removeCandidate"),
+		scanCand:     arListSearchCount(9, "bayes/scanCandidates"),
+		updScore:     arPtrRMW(10, "bayes/updateScore", 1, true),
+		updLogLik:    arPtrRMW(11, "bayes/updateLogLik", 2, true),
+		incParent:    arPtrRMW(12, "bayes/incParentCount", 1, true),
+		touchNode:    arPtrRMW(13, "bayes/touchNode", 3, true),
+		refreshPrior: arPtrRMW(14, "bayes/refreshPrior", 2, true),
+		keyRange:     96,
+	}
+}
+
+func (b *bayes) Name() string { return "bayes" }
+
+func (b *bayes) ARs() []*isa.Program {
+	return []*isa.Program{
+		b.pushTask, b.popTask, b.scanTask,
+		b.insEdge, b.remEdge, b.scanEdge,
+		b.insCand, b.remCand, b.scanCand,
+		b.updScore, b.updLogLik, b.incParent, b.touchNode, b.refreshPrior,
+	}
+}
+
+func (b *bayes) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	b.mm = mm
+	b.taskList = buildUnitList(mm, rng, 48, b.keyRange)
+	b.initialTasks = 48
+
+	seedSorted := func(n int) ([]uint64, mem.Addr) {
+		keys := make([]uint64, n)
+		prev := uint64(0)
+		for i := range keys {
+			prev += uint64(1 + rng.Intn(2*b.keyRange/n))
+			keys[i] = prev
+		}
+		return keys, buildSortedList(mm, keys)
+	}
+	_, b.edgeList = seedSorted(40)
+	b.initialEdges = 40
+	_, b.candList = seedSorted(40)
+	b.initialCands = 40
+
+	b.scores = buildPtrTable(mm, 48)
+	b.led = newLedgers(mm, threads)
+	b.results = make([]mem.Addr, threads)
+	for i := range b.results {
+		b.results[i] = mm.AllocLine()
+	}
+	return nil
+}
+
+func (b *bayes) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	taskPush := b.led.slot(tid, 0)
+	taskPop := b.led.slot(tid, 1)
+	edgeNet := b.led.slot(tid, 2)
+	candNet := b.led.slot(tid, 3)
+	res := b.results[tid]
+	return buildMix(rng, ops, 250, []mixEntry{
+		{weight: 10, gen: b.genPush(b.pushTask, b.taskList, taskPush, &b.pushes)},
+		{weight: 10, gen: b.genPop(b.popTask, b.taskList, taskPop)},
+		{weight: 5, gen: b.genListScan(b.scanTask, b.taskList, res, b.keyRange)},
+		{weight: 8, gen: b.genListInsert(b.insEdge, b.edgeList, edgeNet, b.keyRange, new(uint64))},
+		{weight: 8, gen: b.genListRemove(b.remEdge, b.edgeList, edgeNet, b.keyRange)},
+		{weight: 7, gen: b.genListScan(b.scanEdge, b.edgeList, res, b.keyRange)},
+		{weight: 7, gen: b.genListInsert(b.insCand, b.candList, candNet, b.keyRange, new(uint64))},
+		{weight: 7, gen: b.genListRemove(b.remCand, b.candList, candNet, b.keyRange)},
+		{weight: 6, gen: b.genListScan(b.scanCand, b.candList, res, b.keyRange)},
+		{weight: 8, gen: b.genPtrRMW(b.updScore, b.scores, 1, 16, &b.ptrExpect)},
+		{weight: 6, gen: b.genPtrRMW(b.updLogLik, b.scores, 2, 16, &b.ptrExpect)},
+		{weight: 6, gen: b.genPtrRMW(b.incParent, b.scores, 1, 4, &b.ptrExpect)},
+		{weight: 6, gen: b.genPtrRMW(b.touchNode, b.scores, 3, 8, &b.ptrExpect)},
+		{weight: 6, gen: b.genPtrRMW(b.refreshPrior, b.scores, 2, 8, &b.ptrExpect)},
+	})
+}
+
+func (b *bayes) Verify(mm *mem.Memory) error {
+	tasks, err := plainListLen(mm, b.taskList)
+	if err != nil {
+		return err
+	}
+	pushes := int64(b.led.sum(mm, 0))
+	pops := int64(b.led.sum(mm, 1))
+	if err := verifyCount("bayes: task list length", int64(tasks), int64(b.initialTasks)+pushes-pops); err != nil {
+		return err
+	}
+	edges, err := listLen(mm, b.edgeList)
+	if err != nil {
+		return err
+	}
+	if err := verifyCount("bayes: edge list length", int64(edges), int64(b.initialEdges)+int64(b.led.sum(mm, 2))); err != nil {
+		return err
+	}
+	cands, err := listLen(mm, b.candList)
+	if err != nil {
+		return err
+	}
+	if err := verifyCount("bayes: candidate list length", int64(cands), int64(b.initialCands)+int64(b.led.sum(mm, 3))); err != nil {
+		return err
+	}
+	return verifyCount("bayes: score table sum", int64(b.scores.targetSum(mm)), int64(b.ptrExpect))
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The STAMP benchmarks [30] cannot be run natively (they are pthread/x86
+// programs driven by gem5 in the paper); each is rebuilt as a synthetic
+// kernel over the simulated memory that preserves what CLEAR is sensitive
+// to: the AR count and Table 1 mutability classes, the footprint sizes
+// (small convertible regions vs. ALT/SQ-overflowing ones), and the
+// contention structure (hot shared queues vs. wide tables). This file is the
+// toolkit those kernels share.
+
+// ptrTable is a pointer table whose slots are written once at setup — the
+// "indirection values not modified by concurrent ARs" pattern behind every
+// likely-immutable classification.
+type ptrTable struct {
+	table   mem.Addr
+	targets []mem.Addr
+}
+
+func buildPtrTable(mm *mem.Memory, n int) ptrTable {
+	pt := ptrTable{
+		table:   mm.AllocWords(n, mem.LineSize),
+		targets: make([]mem.Addr, n),
+	}
+	for i := 0; i < n; i++ {
+		t := mm.AllocLine()
+		pt.targets[i] = t
+		mm.WriteWord(pt.table+mem.Addr(i*8), uint64(t))
+	}
+	return pt
+}
+
+func (p ptrTable) slotAddr(i int) mem.Addr { return p.table + mem.Addr(i*8) }
+
+// targetSum sums all target words.
+func (p ptrTable) targetSum(mm *mem.Memory) uint64 {
+	var s uint64
+	for _, t := range p.targets {
+		s += mm.ReadWord(t)
+	}
+	return s
+}
+
+// kit carries the per-run memory handle and builds operation generators that
+// also maintain the benchmark's verification expectations.
+type kit struct {
+	mm *mem.Memory
+}
+
+// genListInsert inserts a fresh node (val 1, for pop counting) into a
+// sentinel-headed sorted list; *count tracks generated inserts.
+func (k *kit) genListInsert(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, keyRange int, count *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		key := uint64(1 + rng.Intn(keyRange))
+		node := allocNode(k.mm, key, 0, 1)
+		*count++
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
+			cpu.RegInit{Reg: isa.R1, Val: key},
+			cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
+			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
+		)}
+	}
+}
+
+// genListRemove removes a random key from a sentinel-headed sorted list,
+// decrementing the net ledger when it unlinks.
+func (k *kit) genListRemove(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, keyRange int) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
+			cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(keyRange))},
+			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
+		)}
+	}
+}
+
+// genListScan runs the Listing 3 counting traversal.
+func (k *kit) genListScan(prog *isa.Program, header mem.Addr, resultSlot mem.Addr, keyRange int) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
+			cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(keyRange))},
+			cpu.RegInit{Reg: isa.R2, Val: uint64(resultSlot)},
+		)}
+	}
+}
+
+// genPush pushes a fresh unit-value node onto a headerless (non-sentinel)
+// list; the push ledger accumulates +1 per push.
+func (k *kit) genPush(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, count *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		node := allocNode(k.mm, uint64(1+rng.Intn(64)), 0, 1)
+		*count++
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
+			cpu.RegInit{Reg: isa.R1, Val: 1}, // unit value for counting
+			cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
+			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
+		)}
+	}
+}
+
+// genPop pops the head of a headerless list; the taken ledger accumulates
+// the node's (unit) value.
+func (k *kit) genPop(prog *isa.Program, header mem.Addr, ledSlot mem.Addr) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
+			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
+		)}
+	}
+}
+
+// genPtrRMW adds a random amount through nPtrs random pointer slots;
+// *expect accumulates the total added across all targets.
+func (k *kit) genPtrRMW(prog *isa.Program, pt ptrTable, nPtrs, amountMax int, expect *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		amount := uint64(1 + rng.Intn(amountMax))
+		rs := regs(cpu.RegInit{Reg: isa.R5, Val: amount})
+		for i := 0; i < nPtrs; i++ {
+			slot := rng.Intn(len(pt.targets))
+			rs = append(rs, cpu.RegInit{Reg: isa.Reg(i), Val: uint64(pt.slotAddr(slot))})
+		}
+		*expect += amount * uint64(nPtrs)
+		return cpu.Invocation{Prog: prog, Regs: rs}
+	}
+}
+
+// genAddDirect adds a random amount to a random slot of a direct-addressed
+// array; *expect accumulates the total.
+func (k *kit) genAddDirect(prog *isa.Program, slots []mem.Addr, amountMax int, expect *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		amount := uint64(1 + rng.Intn(amountMax))
+		*expect += amount
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(slots[rng.Intn(len(slots))])},
+			cpu.RegInit{Reg: isa.R1, Val: amount},
+		)}
+	}
+}
+
+// genStrided adds a random amount to every word of a strided region at a
+// random base; *expect accumulates amount × n.
+func (k *kit) genStrided(prog *isa.Program, bases []mem.Addr, n, amountMax int, expect *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		amount := uint64(1 + rng.Intn(amountMax))
+		*expect += amount * uint64(n)
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(bases[rng.Intn(len(bases))])},
+			cpu.RegInit{Reg: isa.R2, Val: amount},
+		)}
+	}
+}
+
+// genBulkRoute builds a fresh random route (a per-invocation array of cell
+// addresses, like labyrinth's privately-computed path) and claims every
+// cell; *expect accumulates the route length.
+func (k *kit) genBulkRoute(prog *isa.Program, cells []mem.Addr, minLen, maxLen int, expect *uint64) opGen {
+	return func(rng *sim.RNG) cpu.Invocation {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		route := k.mm.AllocWords(n, mem.LineSize)
+		for i := 0; i < n; i++ {
+			k.mm.WriteWord(route+mem.Addr(i*8), uint64(cells[rng.Intn(len(cells))]))
+		}
+		*expect += uint64(n)
+		return cpu.Invocation{Prog: prog, Regs: regs(
+			cpu.RegInit{Reg: isa.R0, Val: uint64(route)},
+			cpu.RegInit{Reg: isa.R1, Val: uint64(n)},
+		)}
+	}
+}
+
+// buildUnitList builds a non-sentinel list of n nodes whose values are all 1
+// (so pop ledgers count nodes), with random keys below keyRange.
+func buildUnitList(mm *mem.Memory, rng *sim.RNG, n, keyRange int) mem.Addr {
+	header := mm.AllocLine()
+	var head uint64
+	for i := 0; i < n; i++ {
+		head = uint64(allocNode(mm, uint64(1+rng.Intn(keyRange)), head, 1))
+	}
+	mm.WriteWord(header, head)
+	return header
+}
+
+// verifyCount checks a counted invariant with a uniform error format.
+func verifyCount(what string, got, want int64) error {
+	if got != want {
+		return fmt.Errorf("%s: got %d, want %d", what, got, want)
+	}
+	return nil
+}
+
+// listLen returns the number of real nodes in a sentinel-headed list.
+func listLen(mm *mem.Memory, header mem.Addr) (int, error) {
+	nodes, err := walkList(mm, header)
+	if err != nil {
+		return 0, err
+	}
+	return len(nodes) - 1, nil
+}
+
+// plainListLen returns the node count of a non-sentinel list.
+func plainListLen(mm *mem.Memory, header mem.Addr) (int, error) {
+	nodes, err := walkList(mm, header)
+	if err != nil {
+		return 0, err
+	}
+	return len(nodes), nil
+}

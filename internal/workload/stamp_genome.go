@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("genome", func() Benchmark { return newGenome() }) }
+
+// genome: gene-sequence assembly. The kernel keeps the five mutable ARs of
+// Table 1: segment-table deduplication (insert/remove/scan on one hot chain)
+// and per-contig gene insertion over sharded chains, plus draining the
+// construction worklist. Balanced insert/remove traffic keeps the chains at
+// steady-state length, like genome's dedup phase.
+type genome struct {
+	kit
+	insSegment, remSegment, scanSegment *isa.Program
+	insGene, popWork                    *isa.Program
+
+	segments []mem.Addr // sharded dedup chains
+	genes    []mem.Addr // sharded per-contig chains
+	worklist mem.Addr
+	led      ledgers // 0 segNet, 1 geneInserts, 2 workPops
+	results  []mem.Addr
+
+	initialSegs, initialGenes, initialWork int
+	keyRange                               int
+}
+
+func newGenome() *genome {
+	return &genome{
+		insSegment:  arListInsertSorted(1, "genome/insertSegment"),
+		remSegment:  arListRemoveKey(2, "genome/removeSegment"),
+		scanSegment: arListSearchCount(3, "genome/scanSegments"),
+		insGene:     arListInsertSorted(4, "genome/insertGene"),
+		popWork:     arListPopHead(5, "genome/popConstruct"),
+		keyRange:    48,
+	}
+}
+
+func (g *genome) Name() string { return "genome" }
+
+func (g *genome) ARs() []*isa.Program {
+	return []*isa.Program{g.insSegment, g.remSegment, g.scanSegment, g.insGene, g.popWork}
+}
+
+func (g *genome) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	g.mm = mm
+	seedSorted := func(n int) mem.Addr {
+		keys := make([]uint64, n)
+		prev := uint64(0)
+		for i := range keys {
+			prev += uint64(1 + rng.Intn(3))
+			keys[i] = prev
+		}
+		return buildSortedList(mm, keys)
+	}
+	// The dedup table is sharded like genome's wide hash table: conflicts
+	// are rare, but chain traversals plus the segment payload give the ARs
+	// footprints the discovery window often cannot hold.
+	const segShards = 48
+	g.segments = make([]mem.Addr, segShards)
+	for i := range g.segments {
+		g.segments[i] = seedSorted(8)
+	}
+	g.initialSegs = segShards * 8
+	const shards = 16
+	g.genes = make([]mem.Addr, shards)
+	for i := range g.genes {
+		g.genes[i] = seedSorted(8)
+	}
+	g.initialGenes = shards * 8
+	g.initialWork = 8192
+	g.worklist = buildUnitList(mm, rng, g.initialWork, g.keyRange)
+	g.led = newLedgers(mm, threads)
+	g.results = make([]mem.Addr, threads)
+	for i := range g.results {
+		g.results[i] = mm.AllocLine()
+	}
+	return nil
+}
+
+func (g *genome) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	segNet := g.led.slot(tid, 0)
+	geneIns := g.led.slot(tid, 1)
+	workPop := g.led.slot(tid, 2)
+	res := g.results[tid]
+	shardGen := func(inner func(header mem.Addr) opGen) opGen {
+		return func(rng *sim.RNG) cpu.Invocation {
+			return inner(g.segments[rng.Intn(len(g.segments))])(rng)
+		}
+	}
+	geneGen := func(rng *sim.RNG) cpu.Invocation {
+		shard := g.genes[rng.Intn(len(g.genes))]
+		return g.genListInsert(g.insGene, shard, geneIns, g.keyRange, new(uint64))(rng)
+	}
+	return buildMix(rng, ops, 220, []mixEntry{
+		{weight: 25, gen: shardGen(func(h mem.Addr) opGen {
+			return g.genListInsert(g.insSegment, h, segNet, g.keyRange, new(uint64))
+		})},
+		{weight: 25, gen: shardGen(func(h mem.Addr) opGen {
+			return g.genListRemove(g.remSegment, h, segNet, g.keyRange)
+		})},
+		{weight: 20, gen: shardGen(func(h mem.Addr) opGen {
+			return g.genListScan(g.scanSegment, h, res, g.keyRange)
+		})},
+		{weight: 20, gen: geneGen},
+		{weight: 10, gen: g.genPop(g.popWork, g.worklist, workPop)},
+	})
+}
+
+func (g *genome) Verify(mm *mem.Memory) error {
+	segs := 0
+	for _, shard := range g.segments {
+		n, err := listLen(mm, shard)
+		if err != nil {
+			return err
+		}
+		segs += n
+	}
+	if err := verifyCount("genome: segment chains", int64(segs), int64(g.initialSegs)+int64(g.led.sum(mm, 0))); err != nil {
+		return err
+	}
+	genes := 0
+	for _, shard := range g.genes {
+		n, err := listLen(mm, shard)
+		if err != nil {
+			return err
+		}
+		genes += n
+	}
+	if err := verifyCount("genome: gene chains", int64(genes), int64(g.initialGenes)+int64(g.led.sum(mm, 1))); err != nil {
+		return err
+	}
+	work, err := plainListLen(mm, g.worklist)
+	if err != nil {
+		return err
+	}
+	return verifyCount("genome: worklist", int64(work), int64(g.initialWork)-int64(g.led.sum(mm, 2)))
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("intruder", func() Benchmark { return newIntruder() }) }
+
+// intruder: network intrusion detection. Table 1: one mutable AR (the hot
+// shared packet queue pop) and two likely-immutable ARs (per-flow and
+// decoder statistics updated through read-only pointer tables). Contention
+// on the packet queue is fierce, so the paper sees intruder gain the most
+// from CLEAR (Figure 8) while paying the largest discovery overhead.
+type intruder struct {
+	kit
+	popPacket *isa.Program
+	flowStats *isa.Program
+	decStats  *isa.Program
+
+	packets mem.Addr
+	flows   ptrTable
+	led     ledgers // 0: packet pops
+
+	initialPackets int
+	ptrExpect      uint64
+}
+
+func newIntruder() *intruder {
+	return &intruder{
+		popPacket: arListPopHead(1, "intruder/popPacket"),
+		flowStats: arPtrRMW(2, "intruder/updateFlowStats", 2, true),
+		decStats:  arPtrRMW(3, "intruder/updateDecoderState", 1, true),
+	}
+}
+
+func (in *intruder) Name() string { return "intruder" }
+func (in *intruder) ARs() []*isa.Program {
+	return []*isa.Program{in.popPacket, in.flowStats, in.decStats}
+}
+
+func (in *intruder) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	in.mm = mm
+	// The packet queue must outlast the run: size it to the worst case.
+	in.initialPackets = 8192
+	in.packets = buildUnitList(mm, rng, in.initialPackets, 256)
+	in.flows = buildPtrTable(mm, 24)
+	in.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (in *intruder) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	pops := in.led.slot(tid, 0)
+	return buildMix(rng, ops, 90, []mixEntry{
+		{weight: 45, gen: in.genPop(in.popPacket, in.packets, pops)},
+		{weight: 30, gen: in.genPtrRMW(in.flowStats, in.flows, 2, 8, &in.ptrExpect)},
+		{weight: 25, gen: in.genPtrRMW(in.decStats, in.flows, 1, 8, &in.ptrExpect)},
+	})
+}
+
+func (in *intruder) Verify(mm *mem.Memory) error {
+	n, err := plainListLen(mm, in.packets)
+	if err != nil {
+		return err
+	}
+	if err := verifyCount("intruder: packet queue", int64(n), int64(in.initialPackets)-int64(in.led.sum(mm, 0))); err != nil {
+		return err
+	}
+	return verifyCount("intruder: stats sum", int64(in.flows.targetSum(mm)), int64(in.ptrExpect))
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("kmeans-h", func() Benchmark { return newKmeans("kmeans-h", 4) })
+	register("kmeans-l", func() Benchmark { return newKmeans("kmeans-l", 24) })
+}
+
+// kmeans: clustering; threads fold points into shared centroid accumulators.
+// Table 1: one immutable AR (the multi-word centroid-chunk update — all
+// addresses preset) and two likely-immutable ARs (count and delta updates
+// through a read-only pointer table). kmeans-h uses few clusters (high
+// contention); kmeans-l many (low contention).
+type kmeans struct {
+	kit
+	name     string
+	clusters int
+
+	updCentroid *isa.Program
+	updCount    *isa.Program
+	updDelta    *isa.Program
+
+	centroids []mem.Addr // one strided region per cluster
+	counts    ptrTable
+	deltas    ptrTable
+
+	centroidWords  int
+	centroidExpect uint64
+	countExpect    uint64
+	deltaExpect    uint64
+}
+
+func newKmeans(name string, clusters int) *kmeans {
+	const words = 16 // two cachelines of per-cluster partial sums
+	return &kmeans{
+		name:          name,
+		clusters:      clusters,
+		updCentroid:   arStridedUpdate(1, name+"/updateCentroid", words, 8),
+		updCount:      arPtrRMW(2, name+"/updateCount", 1, true),
+		updDelta:      arPtrRMW(3, name+"/accumDelta", 1, true),
+		centroidWords: words,
+	}
+}
+
+func (k *kmeans) Name() string        { return k.name }
+func (k *kmeans) ARs() []*isa.Program { return []*isa.Program{k.updCentroid, k.updCount, k.updDelta} }
+
+func (k *kmeans) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	k.mm = mm
+	k.centroids = make([]mem.Addr, k.clusters)
+	for i := range k.centroids {
+		k.centroids[i] = mm.AllocWords(k.centroidWords, mem.LineSize)
+	}
+	k.counts = buildPtrTable(mm, k.clusters)
+	k.deltas = buildPtrTable(mm, k.clusters)
+	return nil
+}
+
+func (k *kmeans) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	return buildMix(rng, ops, 140, []mixEntry{
+		{weight: 50, gen: k.genStrided(k.updCentroid, k.centroids, k.centroidWords, 8, &k.centroidExpect)},
+		{weight: 25, gen: k.genPtrRMW(k.updCount, k.counts, 1, 2, &k.countExpect)},
+		{weight: 25, gen: k.genPtrRMW(k.updDelta, k.deltas, 1, 8, &k.deltaExpect)},
+	})
+}
+
+func (k *kmeans) Verify(mm *mem.Memory) error {
+	var centroidSum uint64
+	for _, base := range k.centroids {
+		for w := 0; w < k.centroidWords; w++ {
+			centroidSum += mm.ReadWord(base + mem.Addr(w*8))
+		}
+	}
+	if centroidSum != k.centroidExpect {
+		return fmt.Errorf("%s: centroid sum %d, want %d", k.name, centroidSum, k.centroidExpect)
+	}
+	if err := verifyCount(k.name+": count sum", int64(k.counts.targetSum(mm)), int64(k.countExpect)); err != nil {
+		return err
+	}
+	return verifyCount(k.name+": delta sum", int64(k.deltas.targetSum(mm)), int64(k.deltaExpect))
+}

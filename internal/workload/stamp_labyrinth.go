@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("labyrinth", func() Benchmark { return newLabyrinth() }) }
+
+// labyrinth: maze routing. The dominant AR claims a privately-computed route
+// of 36..72 grid cells in one atomic region — far past the 32-entry ALT, so
+// discovery marks it non-convertible and the region lives on the
+// speculative-retry/fallback path, reproducing the paper's fallback-heavy,
+// serialisation-prone profile. The two list ARs manage the pending-work and
+// results lists.
+type labyrinth struct {
+	kit
+	claim      *isa.Program
+	popWork    *isa.Program
+	pushResult *isa.Program
+
+	cells    []mem.Addr
+	worklist mem.Addr
+	results  mem.Addr
+	led      ledgers // 0 workPops, 1 resultPushes
+
+	initialWork int
+	claimExpect uint64
+	pushes      uint64
+}
+
+func newLabyrinth() *labyrinth {
+	return &labyrinth{
+		claim:      arBulkRoute(1, "labyrinth/claimRoute"),
+		popWork:    arListPopHead(2, "labyrinth/popWork"),
+		pushResult: arListPushHead(3, "labyrinth/pushResult", false),
+	}
+}
+
+func (l *labyrinth) Name() string        { return "labyrinth" }
+func (l *labyrinth) ARs() []*isa.Program { return []*isa.Program{l.claim, l.popWork, l.pushResult} }
+
+func (l *labyrinth) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	l.mm = mm
+	const grid = 512
+	l.cells = make([]mem.Addr, grid)
+	for i := range l.cells {
+		l.cells[i] = mm.AllocLine()
+	}
+	l.initialWork = 4096
+	l.worklist = buildUnitList(mm, rng, l.initialWork, 256)
+	l.results = mm.AllocLine()
+	l.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (l *labyrinth) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	workPop := l.led.slot(tid, 0)
+	resPush := l.led.slot(tid, 1)
+	return buildMix(rng, ops, 300, []mixEntry{
+		{weight: 50, gen: l.genBulkRoute(l.claim, l.cells, 36, 72, &l.claimExpect)},
+		{weight: 25, gen: l.genPop(l.popWork, l.worklist, workPop)},
+		{weight: 25, gen: l.genPush(l.pushResult, l.results, resPush, &l.pushes)},
+	})
+}
+
+func (l *labyrinth) Verify(mm *mem.Memory) error {
+	var cellSum uint64
+	for _, c := range l.cells {
+		cellSum += mm.ReadWord(c)
+	}
+	if err := verifyCount("labyrinth: claimed cells", int64(cellSum), int64(l.claimExpect)); err != nil {
+		return err
+	}
+	work, err := plainListLen(mm, l.worklist)
+	if err != nil {
+		return err
+	}
+	if err := verifyCount("labyrinth: worklist", int64(work), int64(l.initialWork)-int64(l.led.sum(mm, 0))); err != nil {
+		return err
+	}
+	res, err := plainListLen(mm, l.results)
+	if err != nil {
+		return err
+	}
+	return verifyCount("labyrinth: results list", int64(res), int64(l.led.sum(mm, 1)))
+}

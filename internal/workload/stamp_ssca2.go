@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("ssca2", func() Benchmark { return newSSCA2() }) }
+
+// ssca2: graph kernels with tiny atomic regions spread over large arrays —
+// low contention and small footprints. Table 1: two immutable ARs (direct
+// edge-weight and degree updates) and one likely-immutable AR (adjacency
+// touch-up through a read-only pointer table).
+type ssca2 struct {
+	kit
+	addWeight *isa.Program
+	incDegree *isa.Program
+	updAdj    *isa.Program
+
+	weights []mem.Addr
+	degrees []mem.Addr
+	adj     ptrTable
+
+	weightExpect uint64
+	degreeExpect uint64
+	adjExpect    uint64
+}
+
+func newSSCA2() *ssca2 {
+	return &ssca2{
+		addWeight: arAddDirect(1, "ssca2/addEdgeWeight"),
+		incDegree: arAddDirect(2, "ssca2/incDegree"),
+		updAdj:    arPtrRMW(3, "ssca2/updateAdjacency", 1, true),
+	}
+}
+
+func (s *ssca2) Name() string        { return "ssca2" }
+func (s *ssca2) ARs() []*isa.Program { return []*isa.Program{s.addWeight, s.incDegree, s.updAdj} }
+
+func (s *ssca2) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	s.mm = mm
+	const vertices = 1024
+	s.weights = make([]mem.Addr, vertices)
+	s.degrees = make([]mem.Addr, vertices)
+	for i := 0; i < vertices; i++ {
+		s.weights[i] = mm.AllocLine()
+		s.degrees[i] = mm.AllocLine()
+	}
+	s.adj = buildPtrTable(mm, vertices/2)
+	return nil
+}
+
+func (s *ssca2) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	return buildMix(rng, ops, 60, []mixEntry{
+		{weight: 40, gen: s.genAddDirect(s.addWeight, s.weights, 16, &s.weightExpect)},
+		{weight: 35, gen: s.genAddDirect(s.incDegree, s.degrees, 1, &s.degreeExpect)},
+		{weight: 25, gen: s.genPtrRMW(s.updAdj, s.adj, 1, 8, &s.adjExpect)},
+	})
+}
+
+func (s *ssca2) Verify(mm *mem.Memory) error {
+	var wsum, dsum uint64
+	for i := range s.weights {
+		wsum += mm.ReadWord(s.weights[i])
+		dsum += mm.ReadWord(s.degrees[i])
+	}
+	if err := verifyCount("ssca2: edge weights", int64(wsum), int64(s.weightExpect)); err != nil {
+		return err
+	}
+	if err := verifyCount("ssca2: degrees", int64(dsum), int64(s.degreeExpect)); err != nil {
+		return err
+	}
+	return verifyCount("ssca2: adjacency sum", int64(s.adj.targetSum(mm)), int64(s.adjExpect))
+}

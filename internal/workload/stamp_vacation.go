@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("vacation-h", func() Benchmark { return newVacation("vacation-h", 768, 512) })
+	register("vacation-l", func() Benchmark { return newVacation("vacation-l", 3072, 2048) })
+}
+
+// vacation: a travel reservation system over in-memory trees. Table 1: two
+// mutable ARs (reserve = tree update, add-resource = tree insert) and one
+// likely-immutable AR (customer-balance update through the read-only
+// customer pointer table). The -h variant uses a narrower key range,
+// touching a hotter region of the tree.
+type vacation struct {
+	kit
+	name     string
+	keyRange int
+	seedSize int
+
+	reserve *isa.Program
+	addRes  *isa.Program
+	updCust *isa.Program
+
+	header    mem.Addr
+	customers ptrTable
+	led       ledgers // 0: inserts
+
+	initialSize int
+	inserts     uint64
+	custExpect  uint64
+}
+
+func newVacation(name string, keyRange, seedSize int) *vacation {
+	return &vacation{
+		name:     name,
+		keyRange: keyRange,
+		seedSize: seedSize,
+		reserve:  arTreeUpdate(1, name+"/reserve"),
+		addRes:   arTreeInsert(2, name+"/addResource"),
+		updCust:  arPtrRMW(3, name+"/updateCustomer", 1, true),
+	}
+}
+
+func (v *vacation) Name() string        { return v.name }
+func (v *vacation) ARs() []*isa.Program { return []*isa.Program{v.reserve, v.addRes, v.updCust} }
+
+func (v *vacation) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	v.mm = mm
+	v.header = mm.AllocLine()
+	root := allocTreeNode(mm, uint64(v.keyRange/2))
+	mm.WriteWord(v.header, uint64(root))
+	for i := 0; i < v.seedSize-1; i++ {
+		k := uint64(1 + rng.Intn(v.keyRange))
+		goInsert(mm, root, allocTreeNode(mm, k), k)
+	}
+	v.initialSize = v.seedSize
+	v.customers = buildPtrTable(mm, 64)
+	v.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (v *vacation) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	sizeLedger := uint64(v.led.slot(tid, 0))
+	src := buildMix(rng, ops, 200, []mixEntry{
+		{weight: 45, gen: func(rng *sim.RNG) cpu.Invocation {
+			return cpu.Invocation{Prog: v.reserve, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(v.header)},
+				cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(v.keyRange))},
+				cpu.RegInit{Reg: isa.R5, Val: uint64(1 + rng.Intn(4))},
+			)}
+		}},
+		{weight: 25, gen: func(rng *sim.RNG) cpu.Invocation {
+			k := uint64(1 + rng.Intn(v.keyRange))
+			return cpu.Invocation{Prog: v.addRes, Regs: regs(
+				cpu.RegInit{Reg: isa.R0, Val: uint64(v.header)},
+				cpu.RegInit{Reg: isa.R1, Val: k},
+				cpu.RegInit{Reg: isa.R2, Val: uint64(0)}, // node; filled below
+				cpu.RegInit{Reg: isa.R3, Val: sizeLedger},
+			)}
+		}},
+		{weight: 30, gen: v.genPtrRMW(v.updCust, v.customers, 1, 16, &v.custExpect)},
+	})
+	for i := range src.Invs {
+		inv := &src.Invs[i]
+		if inv.Prog == v.addRes {
+			k := inv.Regs[1].Val
+			inv.Regs[2].Val = uint64(allocTreeNode(v.mm, k))
+			v.inserts++
+		}
+	}
+	return src
+}
+
+func (v *vacation) Verify(mm *mem.Memory) error {
+	root := mem.Addr(mm.ReadWord(v.header))
+	count := 0
+	var walk func(n mem.Addr, lo, hi uint64) error
+	walk = func(n mem.Addr, lo, hi uint64) error {
+		if n == 0 {
+			return nil
+		}
+		if count++; count > 1<<22 {
+			return fmt.Errorf("%s: tree appears cyclic", v.name)
+		}
+		k := mm.ReadWord(n + offKey)
+		if k < lo || k > hi {
+			return fmt.Errorf("%s: key %d violates BST bounds [%d,%d]", v.name, k, lo, hi)
+		}
+		if err := walk(mem.Addr(mm.ReadWord(n+offLeft)), lo, k-1); err != nil {
+			return err
+		}
+		return walk(mem.Addr(mm.ReadWord(n+offRight)), k, hi)
+	}
+	if err := walk(root, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	if err := verifyCount(v.name+": tree size", int64(count), int64(v.initialSize)+int64(v.inserts)); err != nil {
+		return err
+	}
+	if err := verifyCount(v.name+": insert ledger", int64(v.led.sum(mm, 0)), int64(v.inserts)); err != nil {
+		return err
+	}
+	return verifyCount(v.name+": customer balances", int64(v.customers.targetSum(mm)), int64(v.custExpect))
+}

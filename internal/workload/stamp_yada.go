@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() { register("yada", func() Benchmark { return newYada() }) }
+
+// yada: Delaunay mesh refinement. Table 1: one immutable AR (the
+// bad-triangle counter) and five mutable ARs (work-heap push/pop, triangle
+// insert/remove, and the cavity walk, whose footprint of up to ~40 lines
+// frequently overflows the ALT — yada commits mostly on the first try or in
+// fallback, so the paper notes its discovery is rarely useful).
+type yada struct {
+	kit
+	incBad     *isa.Program
+	pushWork   *isa.Program
+	popWork    *isa.Program
+	insTri     *isa.Program
+	remTri     *isa.Program
+	cavityWalk *isa.Program
+
+	badCounter mem.Addr
+	workHeap   mem.Addr
+	triangles  mem.Addr
+	cavCells   []mem.Addr
+	led        ledgers // 0 workPush, 1 workPop, 2 triNet
+
+	initialWork, initialTris int
+	badExpect                uint64
+	pushes                   uint64
+	cavityExpect             uint64
+	keyRange                 int
+}
+
+func newYada() *yada {
+	return &yada{
+		incBad:     arAddDirect(1, "yada/incBadCount"),
+		pushWork:   arListPushHead(2, "yada/pushWork", false),
+		popWork:    arListPopHead(3, "yada/popWork"),
+		insTri:     arListInsertSorted(4, "yada/insertTriangle"),
+		remTri:     arListRemoveKey(5, "yada/removeTriangle"),
+		cavityWalk: arBulkRoute(6, "yada/cavityWalk"),
+		keyRange:   80,
+	}
+}
+
+func (y *yada) Name() string { return "yada" }
+
+func (y *yada) ARs() []*isa.Program {
+	return []*isa.Program{y.incBad, y.pushWork, y.popWork, y.insTri, y.remTri, y.cavityWalk}
+}
+
+func (y *yada) Setup(mm *mem.Memory, rng *sim.RNG, threads int) error {
+	y.mm = mm
+	y.badCounter = mm.AllocLine()
+	y.initialWork = 128
+	y.workHeap = buildUnitList(mm, rng, y.initialWork, y.keyRange)
+	keys := make([]uint64, 64)
+	prev := uint64(0)
+	for i := range keys {
+		prev += uint64(1 + rng.Intn(2*y.keyRange/len(keys)))
+		keys[i] = prev
+	}
+	y.triangles = buildSortedList(mm, keys)
+	y.initialTris = len(keys)
+	y.cavCells = make([]mem.Addr, 256)
+	for i := range y.cavCells {
+		y.cavCells[i] = mm.AllocLine()
+	}
+	y.led = newLedgers(mm, threads)
+	return nil
+}
+
+func (y *yada) Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource {
+	workPush := y.led.slot(tid, 0)
+	workPop := y.led.slot(tid, 1)
+	triNet := y.led.slot(tid, 2)
+	return buildMix(rng, ops, 260, []mixEntry{
+		{weight: 10, gen: y.genAddDirect(y.incBad, []mem.Addr{y.badCounter}, 1, &y.badExpect)},
+		{weight: 20, gen: y.genPush(y.pushWork, y.workHeap, workPush, &y.pushes)},
+		{weight: 20, gen: y.genPop(y.popWork, y.workHeap, workPop)},
+		{weight: 15, gen: y.genListInsert(y.insTri, y.triangles, triNet, y.keyRange, new(uint64))},
+		{weight: 15, gen: y.genListRemove(y.remTri, y.triangles, triNet, y.keyRange)},
+		{weight: 20, gen: y.genBulkRoute(y.cavityWalk, y.cavCells, 24, 40, &y.cavityExpect)},
+	})
+}
+
+func (y *yada) Verify(mm *mem.Memory) error {
+	if err := verifyCount("yada: bad counter", int64(mm.ReadWord(y.badCounter)), int64(y.badExpect)); err != nil {
+		return err
+	}
+	work, err := plainListLen(mm, y.workHeap)
+	if err != nil {
+		return err
+	}
+	pushes := int64(y.led.sum(mm, 0))
+	pops := int64(y.led.sum(mm, 1))
+	if err := verifyCount("yada: work heap", int64(work), int64(y.initialWork)+pushes-pops); err != nil {
+		return err
+	}
+	tris, err := listLen(mm, y.triangles)
+	if err != nil {
+		return err
+	}
+	if err := verifyCount("yada: triangle list", int64(tris), int64(y.initialTris)+int64(y.led.sum(mm, 2))); err != nil {
+		return err
+	}
+	var cavSum uint64
+	for _, c := range y.cavCells {
+		cavSum += mm.ReadWord(c)
+	}
+	return verifyCount("yada: cavity cells", int64(cavSum), int64(y.cavityExpect))
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// runSequential executes a benchmark on a single simulated core (no
+// concurrency, no conflicts) — a reference check that every AR program's
+// semantics agree with the benchmark's Verify invariant.
+func runSequential(t *testing.T, name string, ops int) {
+	t.Helper()
+	bench, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(7)
+	if err := bench.Setup(mm, rng, 1); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultSystemConfig()
+	cfg.Cores = 1
+	m, err := cpu.NewMachine(cfg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachFeeds([]cpu.InvocationSource{bench.Source(0, rng.Split(), ops)})
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Aborts != 0 {
+		t.Fatalf("%s: %d aborts on a single core", name, m.Stats.Aborts)
+	}
+	if err := bench.Verify(mm); err != nil {
+		t.Fatalf("%s: sequential reference run failed verification: %v", name, err)
+	}
+}
+
+// TestSequentialReference: every benchmark, conflict-free.
+func TestSequentialReference(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runSequential(t, name, 80)
+		})
+	}
+}
+
+// corrupt runs Setup, applies damage, and expects Verify to fail.
+func expectVerifyFailure(t *testing.T, name string, damage func(Benchmark, *mem.Memory)) {
+	t.Helper()
+	bench, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(1)
+	if err := bench.Setup(mm, rng, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Verify(mm); err != nil {
+		t.Fatalf("%s: pristine state failed: %v", name, err)
+	}
+	damage(bench, mm)
+	if err := bench.Verify(mm); err == nil {
+		t.Fatalf("%s: verification accepted corrupted state", name)
+	}
+}
+
+func TestVerifyCatchesDamage(t *testing.T) {
+	t.Run("arrayswap", func(t *testing.T) {
+		expectVerifyFailure(t, "arrayswap", func(b Benchmark, mm *mem.Memory) {
+			a := b.(*arrayswap)
+			mm.WriteWord(a.slots[0], 999999) // value not in the multiset
+		})
+	})
+	t.Run("mwobject", func(t *testing.T) {
+		expectVerifyFailure(t, "mwobject", func(b Benchmark, mm *mem.Memory) {
+			m := b.(*mwobject)
+			mm.WriteWord(m.object, 5) // counters must equal op count (0 here)
+		})
+	})
+	t.Run("stack", func(t *testing.T) {
+		expectVerifyFailure(t, "stack", func(b Benchmark, mm *mem.Memory) {
+			s := b.(*stack)
+			// Drop the whole stack without adjusting the ledgers.
+			mm.WriteWord(s.header, 0)
+		})
+	})
+	t.Run("queue", func(t *testing.T) {
+		expectVerifyFailure(t, "queue", func(b Benchmark, mm *mem.Memory) {
+			q := b.(*queue)
+			// Detach the tail: tail pointer no longer reachable.
+			mm.WriteWord(q.header+8, uint64(mm.AllocLine()))
+		})
+	})
+	t.Run("deque", func(t *testing.T) {
+		expectVerifyFailure(t, "deque", func(b Benchmark, mm *mem.Memory) {
+			d := b.(*deque)
+			// Manufacture an item without a matching push ledger entry.
+			mm.WriteWord(d.headers[0]+8, 1) // bottom = 1
+			mm.WriteWord(d.buffers[0], 7)   // slot value
+		})
+	})
+	t.Run("bst", func(t *testing.T) {
+		expectVerifyFailure(t, "bst", func(b Benchmark, mm *mem.Memory) {
+			tree := b.(*bst)
+			root := mem.Addr(mm.ReadWord(tree.header))
+			left := mem.Addr(mm.ReadWord(root + offLeft))
+			if left == 0 {
+				t.Skip("seeded root has no left child")
+			}
+			// A left-subtree key above the root key violates the BST bound.
+			mm.WriteWord(left+offKey, mm.ReadWord(root+offKey)+100)
+		})
+	})
+	t.Run("hashmap", func(t *testing.T) {
+		expectVerifyFailure(t, "hashmap", func(b Benchmark, mm *mem.Memory) {
+			h := b.(*hashmap)
+			// Splice a node whose key hashes elsewhere into bucket 0.
+			sentinel := mem.Addr(mm.ReadWord(h.buckets[0]))
+			bad := allocNode(mm, uint64(1+h.nbuckets), mm.ReadWord(sentinel+offNext), 1)
+			mm.WriteWord(sentinel+offNext, uint64(bad))
+		})
+	})
+	t.Run("labyrinth", func(t *testing.T) {
+		expectVerifyFailure(t, "labyrinth", func(b Benchmark, mm *mem.Memory) {
+			l := b.(*labyrinth)
+			mm.WriteWord(l.cells[0], 3) // claims nobody made
+		})
+	})
+	t.Run("kmeans-h", func(t *testing.T) {
+		expectVerifyFailure(t, "kmeans-h", func(b Benchmark, mm *mem.Memory) {
+			k := b.(*kmeans)
+			mm.WriteWord(k.centroids[0], 1)
+		})
+	})
+	t.Run("ssca2", func(t *testing.T) {
+		expectVerifyFailure(t, "ssca2", func(b Benchmark, mm *mem.Memory) {
+			s := b.(*ssca2)
+			mm.WriteWord(s.degrees[0], 1)
+		})
+	})
+	t.Run("yada", func(t *testing.T) {
+		expectVerifyFailure(t, "yada", func(b Benchmark, mm *mem.Memory) {
+			y := b.(*yada)
+			mm.WriteWord(y.badCounter, 1)
+		})
+	})
+	t.Run("vacation-h", func(t *testing.T) {
+		expectVerifyFailure(t, "vacation-h", func(b Benchmark, mm *mem.Memory) {
+			v := b.(*vacation)
+			mm.WriteWord(v.customers.targets[0], 1)
+		})
+	})
+	t.Run("genome", func(t *testing.T) {
+		expectVerifyFailure(t, "genome", func(b Benchmark, mm *mem.Memory) {
+			g := b.(*genome)
+			// Remove a worklist node without a pop ledger entry.
+			head := mem.Addr(mm.ReadWord(g.worklist))
+			mm.WriteWord(g.worklist, mm.ReadWord(head+offNext))
+		})
+	})
+	t.Run("bayes", func(t *testing.T) {
+		expectVerifyFailure(t, "bayes", func(b Benchmark, mm *mem.Memory) {
+			bb := b.(*bayes)
+			mm.WriteWord(bb.scores.targets[0], 1)
+		})
+	})
+	t.Run("intruder", func(t *testing.T) {
+		expectVerifyFailure(t, "intruder", func(b Benchmark, mm *mem.Memory) {
+			in := b.(*intruder)
+			head := mem.Addr(mm.ReadWord(in.packets))
+			mm.WriteWord(in.packets, mm.ReadWord(head+offNext))
+		})
+	})
+}

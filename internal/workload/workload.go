@@ -1,0 +1,87 @@
+// Package workload provides the nineteen benchmarks of the paper's
+// evaluation (§6) rebuilt over the simulated memory: the data-structure
+// microbenchmarks (arrayswap, bst, deque, hashmap, queue, stack,
+// sorted-list), the two applications (bitcoin, mwobject), and synthetic
+// equivalents of the STAMP suite. Each benchmark constructs its data
+// structures in simulated memory, exposes its atomic regions as mini-ISA
+// programs whose static mutability matches Table 1, generates per-thread
+// invocation streams, and verifies an end-to-end invariant after the run.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Benchmark is one workload instance. Instances are single-use: Setup,
+// Source (once per thread), run, Verify.
+type Benchmark interface {
+	// Name is the registry key, matching the paper's label.
+	Name() string
+	// ARs returns every atomic-region program the benchmark can execute
+	// (the Table 1 population).
+	ARs() []*isa.Program
+	// Setup builds the benchmark's data structures in simulated memory.
+	Setup(mm *mem.Memory, rng *sim.RNG, threads int) error
+	// Source returns thread tid's invocation stream of ops operations.
+	// Setup must have run first.
+	Source(tid int, rng *sim.RNG, ops int) cpu.InvocationSource
+	// Verify checks the benchmark's end-to-end invariant against the final
+	// memory image; every generated invocation is guaranteed to have
+	// committed exactly once.
+	Verify(mm *mem.Memory) error
+}
+
+// Factory creates a fresh benchmark instance.
+type Factory func() Benchmark
+
+var registry = map[string]Factory{}
+
+// register adds a benchmark factory; called from init functions.
+func register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate benchmark %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered benchmark.
+func New(name string) (Benchmark, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns all registered benchmark names in the paper's presentation
+// order (data structures, applications, then STAMP).
+func Names() []string {
+	order := []string{
+		"arrayswap", "bitcoin", "bst", "deque", "hashmap", "mwobject",
+		"queue", "stack", "sorted-list",
+		"bayes", "genome", "intruder", "kmeans-h", "kmeans-l", "labyrinth",
+		"ssca2", "vacation-h", "vacation-l", "yada",
+	}
+	seen := make(map[string]bool, len(order))
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range registry {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// paperTable1 is Table 1 of the paper: per benchmark, the number of ARs in
+// each mutability class (immutable, likely immutable, mutable).
+var paperTable1 = map[string][3]int{
+	"arrayswap":   {2, 0, 0},
+	"bitcoin":     {0, 1, 0},
+	"bst":         {0, 0, 3},
+	"deque":       {0, 1, 1},
+	"hashmap":     {0, 0, 3},
+	"mwobject":    {1, 0, 0},
+	"queue":       {0, 1, 1},
+	"stack":       {0, 1, 1},
+	"sorted-list": {1, 0, 2},
+	"bayes":       {0, 5, 9},
+	"genome":      {0, 0, 5},
+	"intruder":    {0, 2, 1},
+	"kmeans-h":    {1, 2, 0},
+	"kmeans-l":    {1, 2, 0},
+	"labyrinth":   {0, 0, 3},
+	"ssca2":       {2, 1, 0},
+	"vacation-h":  {0, 1, 2},
+	"vacation-l":  {0, 1, 2},
+	"yada":        {1, 0, 5},
+}
+
+// TestTable1MatchesPaper: the static analyzer classifies every benchmark's
+// ARs exactly as the paper's Table 1 does.
+func TestTable1MatchesPaper(t *testing.T) {
+	if len(Names()) != len(paperTable1) {
+		t.Fatalf("%d benchmarks registered, want %d", len(Names()), len(paperTable1))
+	}
+	for _, name := range Names() {
+		want, ok := paperTable1[name]
+		if !ok {
+			t.Errorf("benchmark %q not in Table 1", name)
+			continue
+		}
+		bench, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [3]int
+		for _, p := range bench.ARs() {
+			switch isa.Analyze(p).Mutability {
+			case isa.Immutable:
+				got[0]++
+			case isa.LikelyImmutable:
+				got[1]++
+			default:
+				got[2]++
+			}
+		}
+		if got != want {
+			t.Errorf("%s: classification %v, want %v", name, got, want)
+		}
+		if n := got[0] + got[1] + got[2]; n != len(bench.ARs()) {
+			t.Errorf("%s: %d ARs classified, have %d", name, n, len(bench.ARs()))
+		}
+	}
+}
+
+// TestARProgramsValid: every AR of every benchmark validates and has a
+// unique ID within its benchmark.
+func TestARProgramsValid(t *testing.T) {
+	for _, name := range Names() {
+		bench, _ := New(name)
+		ids := map[int]bool{}
+		for _, p := range bench.ARs() {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if ids[p.ID] {
+				t.Errorf("%s: duplicate AR id %d", name, p.ID)
+			}
+			ids[p.ID] = true
+			if p.Name == "" {
+				t.Errorf("%s: AR %d unnamed", name, p.ID)
+			}
+		}
+	}
+}
+
+// TestSetupSourceDeterminism: the same seed produces identical invocation
+// streams.
+func TestSetupSourceDeterminism(t *testing.T) {
+	for _, name := range []string{"hashmap", "bayes", "deque"} {
+		gen := func() []uint64 {
+			bench, _ := New(name)
+			mm := mem.NewMemory(0x100000)
+			rng := sim.NewRNG(5)
+			if err := bench.Setup(mm, rng, 4); err != nil {
+				t.Fatal(err)
+			}
+			var sig []uint64
+			for tid := 0; tid < 4; tid++ {
+				src := bench.Source(tid, rng.Split(), 20)
+				for {
+					inv, ok := src.Next()
+					if !ok {
+						break
+					}
+					sig = append(sig, uint64(inv.Prog.ID), uint64(inv.Think))
+					for _, r := range inv.Regs {
+						sig = append(sig, uint64(r.Reg), r.Val)
+					}
+				}
+			}
+			return sig
+		}
+		a, b := gen(), gen()
+		if len(a) != len(b) {
+			t.Fatalf("%s: stream lengths differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: streams diverge at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestVerifyDetectsCorruption: Verify must fail when the final memory image
+// violates the benchmark invariant (here: a counterfeit bitcoin balance).
+func TestVerifyDetectsCorruption(t *testing.T) {
+	bench, _ := New("bitcoin")
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(1)
+	if err := bench.Setup(mm, rng, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Verify(mm); err != nil {
+		t.Fatalf("pristine state failed verification: %v", err)
+	}
+	// Counterfeit coins.
+	b := bench.(*bitcoin)
+	mm.WriteWord(b.wallets[0], mm.ReadWord(b.wallets[0])+1)
+	if err := bench.Verify(mm); err == nil {
+		t.Fatal("verification accepted counterfeit coins")
+	}
+}
+
+// TestVerifyDetectsStructuralDamage: a broken sorted-list order is caught.
+func TestVerifyDetectsStructuralDamage(t *testing.T) {
+	bench, _ := New("sorted-list")
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(1)
+	if err := bench.Setup(mm, rng, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := bench.(*sortedList)
+	nodes, err := walkList(mm, s.header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) < 3 {
+		t.Fatal("seed list too short")
+	}
+	// Swap two keys to break the order.
+	k1 := mm.ReadWord(nodes[1] + offKey)
+	k2 := mm.ReadWord(nodes[2] + offKey)
+	mm.WriteWord(nodes[1]+offKey, k2)
+	mm.WriteWord(nodes[2]+offKey, k1)
+	if err := bench.Verify(mm); err == nil {
+		t.Fatal("verification accepted an unsorted list")
+	}
+}
+
+// TestWalkListDetectsCycle: the safety guard trips on cyclic lists.
+func TestWalkListDetectsCycle(t *testing.T) {
+	mm := mem.NewMemory(0x100000)
+	header := buildList(mm, []uint64{1, 2, 3})
+	nodes, err := walkList(mm, header)
+	if err != nil || len(nodes) != 3 {
+		t.Fatalf("straight list walk: %v, %d nodes", err, len(nodes))
+	}
+	// Close the loop.
+	mm.WriteWord(nodes[2]+offNext, uint64(nodes[0]))
+	if _, err := walkList(mm, header); err == nil {
+		t.Fatal("cyclic list not detected")
+	}
+}
+
+// TestLedgerSlots: ledger lines are private per thread and sum correctly.
+func TestLedgerSlots(t *testing.T) {
+	mm := mem.NewMemory(0x100000)
+	l := newLedgers(mm, 4)
+	for tid := 0; tid < 4; tid++ {
+		for w := 0; w < 8; w++ {
+			mm.WriteWord(l.slot(tid, w), uint64(tid*10+w))
+		}
+	}
+	if got := l.sum(mm, 3); got != 3+13+23+33 {
+		t.Fatalf("sum(word 3) = %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		if l.lines[i].Line() == l.lines[i+1].Line() {
+			t.Fatal("thread ledgers share a cacheline")
+		}
+	}
+}
+
+// TestDequeSourceCapsOps: the ring-buffer deque cannot accept more pushes
+// than its capacity per thread.
+func TestDequeSourceCapsOps(t *testing.T) {
+	bench, _ := New("deque")
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(1)
+	if err := bench.Setup(mm, rng, 2); err != nil {
+		t.Fatal(err)
+	}
+	src := bench.Source(0, rng.Split(), dequeCap*2)
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n > dequeCap {
+		t.Fatalf("deque source emitted %d ops, capacity %d", n, dequeCap)
+	}
+}
+
+// TestMixWeightsRoughlyHonored: the weighted mix produces operations in
+// approximately the requested proportions.
+func TestMixWeightsRoughlyHonored(t *testing.T) {
+	bench, _ := New("hashmap")
+	mm := mem.NewMemory(0x100000)
+	rng := sim.NewRNG(3)
+	if err := bench.Setup(mm, rng, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := bench.(*hashmap)
+	src := bench.Source(0, rng.Split(), 4000)
+	counts := map[int]int{}
+	for {
+		inv, ok := src.Next()
+		if !ok {
+			break
+		}
+		counts[inv.Prog.ID]++
+	}
+	// insert 40%, remove 30%, lookup 30% (±5 points).
+	within := func(got, wantPct int) bool {
+		pct := got * 100 / 4000
+		return pct >= wantPct-5 && pct <= wantPct+5
+	}
+	if !within(counts[h.insert.ID], 40) || !within(counts[h.remove.ID], 30) || !within(counts[h.lookup.ID], 30) {
+		t.Fatalf("mix proportions off: %v", counts)
+	}
+}
