@@ -267,6 +267,20 @@ func BenchmarkAblationSCLLockAll(b *testing.B) {
 	b.ReportMetric(ratio, "cycles_ratio_lock_all_reads")
 }
 
+// BenchmarkHarnessRunHot is the hot-path yardstick of the host-performance
+// work: one full `harness.Run` of intruder under ConfigC at the paper's 32
+// cores. scripts/bench_hotpath.sh tracks its ns/op and allocs/op across PRs
+// in BENCH_hotpath.json.
+func BenchmarkHarnessRunHot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := harness.DefaultRunParams("intruder", harness.ConfigC)
+		if _, err := harness.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (host time per
 // simulated event) on a contended workload — the practical cost of using
 // this simulator as a research vehicle.

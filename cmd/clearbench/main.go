@@ -20,7 +20,12 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/prof"
 )
+
+// stopProfiles finishes any active profiles; fatal calls it because os.Exit
+// skips deferred calls.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -33,8 +38,17 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation: 'discovery' (no failed-mode continuation) or 'lockall' (S-CL locks all reads)")
 		sweep    = flag.Bool("sweep", false, "print the retry-limit design-space exploration instead of the figures")
 		csvPath  = flag.String("csv", "", "also write the matrix cells as CSV to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	// The static tables need no simulation.
 	if *table == 1 {
@@ -144,5 +158,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "clearbench:", err)
+	stopProfiles()
 	os.Exit(1)
 }

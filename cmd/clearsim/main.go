@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -35,8 +36,17 @@ func main() {
 		ertSize = flag.Int("ert", 0, "ERT entries (0 = paper's 16)")
 		noDisc  = flag.Bool("no-discovery-continuation", false, "ablation: abort at first conflict instead of continuing discovery")
 		lockAll = flag.Bool("scl-lock-all", false, "ablation: S-CL locks the whole learned footprint")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clearsim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, n := range workload.Names() {
@@ -59,6 +69,7 @@ func main() {
 		cfg = harness.ConfigM
 	default:
 		fmt.Fprintf(os.Stderr, "clearsim: unknown config %q (want B, P, C, W or M)\n", *config)
+		stopProfiles()
 		os.Exit(2)
 	}
 
@@ -77,6 +88,7 @@ func main() {
 	res, err := harness.Run(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clearsim:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 	printResult(res)

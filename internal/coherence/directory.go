@@ -12,6 +12,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -174,6 +175,13 @@ type Stats struct {
 	Hops uint64
 }
 
+// lockRef is one cacheline lock a core currently holds: the line plus the
+// resolved entry, so releasing never consults the entries map.
+type lockRef struct {
+	line mem.LineAddr
+	e    *entry
+}
+
 // Directory is the shared coherence point: it tracks the owner, sharers, and
 // lock state of every line touched so far.
 type Directory struct {
@@ -181,6 +189,13 @@ type Directory struct {
 	entries map[mem.LineAddr]*entry
 	hooks   []CoreHook
 	topo    noc.Topology
+
+	// held[core] lists the cacheline locks core currently holds, in
+	// acquisition order. It makes the XEnd bulk unlock (§5.1) and the
+	// locked-line census O(locks held) instead of O(all lines ever
+	// touched); lockedLines is the global count.
+	held        [][]lockRef
+	lockedLines int
 
 	Stats Stats
 }
@@ -202,6 +217,7 @@ func NewDirectory(cfg Config) *Directory {
 		entries: make(map[mem.LineAddr]*entry),
 		hooks:   make([]CoreHook, cfg.NumCores),
 		topo:    topo,
+		held:    make([][]lockRef, cfg.NumCores),
 	}
 }
 
@@ -345,24 +361,28 @@ func (d *Directory) Write(core int, line mem.LineAddr, attrs ReqAttrs) AccessRes
 		}
 	}
 	if !nacked {
+		// Walk the sharer bits directly (ascending core order, like
+		// CoreSet.ForEach) — no closure, no indirect calls on this hot path.
 		var keep CoreSet
-		e.sharers.ForEach(func(c int) {
+		for v := uint64(e.sharers); v != 0; {
+			c := bits.TrailingZeros64(v)
+			v &^= 1 << uint(c)
 			if c == core {
 				// The requester's own shared copy stays valid if the
 				// upgrade fails; dropping it here would let its cache and
 				// the sharer vector diverge (lost conflict detection).
 				keep = keep.Add(c)
-				return
+				continue
 			}
 			resp := d.askHolder(c, line, true, core, attrs)
 			if resp == HolderNacks {
 				nacked = true
 				keep = keep.Add(c)
-				return
+				continue
 			}
 			d.Stats.Invalidations++
 			invalidated++
-		})
+		}
 		if nacked {
 			// Partial invalidation: holders that yielded are already gone;
 			// refusing holders and the requester keep their copies and the
@@ -449,7 +469,7 @@ func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 	if e.owner == core {
 		// Already held exclusive (the ALT "Hit" fast path of §5): the lock
 		// is taken without communicating with the rest of the hierarchy.
-		e.lockedBy = core
+		d.acquireLock(core, line, e)
 		return LockResult{Latency: d.cfg.Lat.L1Hit}
 	}
 	attrs.Locking = true
@@ -461,8 +481,20 @@ func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 		d.Stats.Retries++
 		return LockResult{Latency: res.Latency + d.cfg.Lat.Backoff, Retry: true}
 	}
-	e.lockedBy = core
+	d.acquireLock(core, line, e)
 	return LockResult{Latency: res.Latency}
+}
+
+// acquireLock records core as the lock holder of line, keeping the per-core
+// held-locks list and the global count exact. Re-locking an already-held
+// line is a no-op.
+func (d *Directory) acquireLock(core int, line mem.LineAddr, e *entry) {
+	if e.lockedBy == core {
+		return
+	}
+	e.lockedBy = core
+	d.held[core] = append(d.held[core], lockRef{line: line, e: e})
+	d.lockedLines++
 }
 
 // Unlock releases the cacheline lock held by core on line. Held requests
@@ -475,18 +507,30 @@ func (d *Directory) Unlock(core int, line mem.LineAddr) {
 		panic(fmt.Sprintf("coherence: core %d unlocking line %s locked by %d", core, line, e.lockedBy))
 	}
 	e.lockedBy = -1
+	d.lockedLines--
+	held := d.held[core]
+	for i := range held {
+		if held[i].line == line {
+			d.held[core] = append(held[:i], held[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("coherence: core %d held-locks list missing line %s", core, line))
 }
 
 // UnlockAll releases every lock held by core (the bulk unlock at XEnd,
-// §5.1) and returns how many were released.
+// §5.1) and returns how many were released. It walks the per-core
+// held-locks list, so the cost is O(locks held) — independent of how many
+// lines the directory has ever tracked.
 func (d *Directory) UnlockAll(core int) int {
-	n := 0
-	for _, e := range d.entries {
-		if e.lockedBy == core {
-			e.lockedBy = -1
-			n++
-		}
+	held := d.held[core]
+	n := len(held)
+	for i := range held {
+		held[i].e.lockedBy = -1
+		held[i] = lockRef{} // drop the entry reference
 	}
+	d.held[core] = held[:0]
+	d.lockedLines -= n
 	d.Stats.Unlocks += uint64(n)
 	return n
 }
@@ -508,13 +552,20 @@ func (d *Directory) Evict(core int, line mem.LineAddr) {
 }
 
 // LockedLines returns how many lines are currently cacheline-locked; tests
-// use it to assert the bulk unlock is complete.
-func (d *Directory) LockedLines() int {
-	n := 0
-	for _, e := range d.entries {
-		if e.lockedBy >= 0 {
-			n++
-		}
+// use it to assert the bulk unlock is complete. O(1): the count is
+// maintained by Lock/Unlock/UnlockAll.
+func (d *Directory) LockedLines() int { return d.lockedLines }
+
+// HeldLocks returns the lines core currently holds cacheline locks on, in
+// acquisition order (a copy; the caller may retain it).
+func (d *Directory) HeldLocks(core int) []mem.LineAddr {
+	held := d.held[core]
+	if len(held) == 0 {
+		return nil
 	}
-	return n
+	lines := make([]mem.LineAddr, len(held))
+	for i, hl := range held {
+		lines[i] = hl.line
+	}
+	return lines
 }

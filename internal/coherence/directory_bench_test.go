@@ -1,0 +1,38 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkDirectoryLockUnlockAll measures the XEnd bulk-unlock path as a
+// function of the total number of lines the directory has ever tracked. The
+// per-iteration work (lock 8 lines, bulk-unlock them) is constant, so the
+// benchmark scales flat in the directory size when UnlockAll is O(locks
+// held) — and linearly when it iterates the whole entries map.
+func BenchmarkDirectoryLockUnlockAll(b *testing.B) {
+	for _, total := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("lines%d", total), func(b *testing.B) {
+			d := NewDirectory(DefaultConfig())
+			// Populate the directory with `total` touched lines.
+			for i := 0; i < total; i++ {
+				d.Read(1, mem.LineAddr(i+64), ReqAttrs{})
+			}
+			const held = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for l := 0; l < held; l++ {
+					if res := d.Lock(0, mem.LineAddr(l), ReqAttrs{}); res.Retry || res.Nacked {
+						b.Fatal("lock refused")
+					}
+				}
+				if n := d.UnlockAll(0); n != held {
+					b.Fatalf("released %d, want %d", n, held)
+				}
+			}
+		})
+	}
+}

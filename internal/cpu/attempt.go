@@ -88,13 +88,15 @@ func (c *Core) beginSpeculative() {
 		// Jittered polling so the herd does not stampede when the lock
 		// frees.
 		wait := c.m.Cfg.SpinInterval + sim.Tick(c.rng.Intn(int(c.m.Cfg.SpinInterval)+1))
-		c.engine().Schedule(wait, c.beginAttempt)
+		c.engine().Schedule(wait, c.beginAttemptFn)
 		return
 	}
 	c.waitedOnLock = false
 	c.resetAttemptState()
 	c.mode = ModeSpeculative
-	c.tracef("begin spec attempt=%d retries=%d prog=%s", c.attempt, c.conflictRetries, c.inv.Prog.Name)
+	if c.m.trace != nil {
+		c.tracef("begin spec attempt=%d retries=%d prog=%s", c.attempt, c.conflictRetries, c.inv.Prog.Name)
+	}
 
 	// PowerTM: a transaction that has aborted at least once tries to claim
 	// the power token for its retry.
@@ -102,7 +104,9 @@ func (c *Core) beginSpeculative() {
 		if c.m.Power.TryClaim(c.id) {
 			c.power = true
 			c.m.Stats.PowerClaims++
-			c.tracef("power claimed")
+			if c.m.trace != nil {
+				c.tracef("power claimed")
+			}
 		}
 	}
 
@@ -127,12 +131,12 @@ func (c *Core) beginSpeculative() {
 	// the subscription is usually a cache hit.
 	c.readSet[c.m.Fallback.Line] = true
 	if c.l1.Access(c.m.Fallback.Line) {
-		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, c.step)
+		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, c.stepFn)
 		return
 	}
 	res := c.m.Dir.Read(c.id, c.m.Fallback.Line, coherence.ReqAttrs{})
 	c.l1Insert(c.m.Fallback.Line)
-	c.engine().Schedule(res.Latency, c.step)
+	c.engine().Schedule(res.Latency, c.stepFn)
 }
 
 // tryStaticFootprint evaluates the invocation's footprint from its preset
@@ -213,7 +217,9 @@ func (c *Core) enterFailedMode(reason htm.AbortReason) {
 // abortNow finalises an aborted attempt: bookkeeping, cleanup, retry-mode
 // decision, and scheduling of the next attempt.
 func (c *Core) abortNow(reason htm.AbortReason) {
-	c.tracef("abort reason=%s pc=%d", reason, c.pc)
+	if c.m.trace != nil {
+		c.tracef("abort reason=%s pc=%d", reason, c.pc)
+	}
 	c.m.Stats.RecordAbort(reason)
 	c.m.Stats.RecordAbortAR(c.inv.Prog.ID, c.inv.Prog.Name)
 	c.m.Stats.AbortedInstructions += c.attemptInstr
@@ -244,7 +250,7 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 	c.disc.Disable()
 	c.mode = ModeIdle
 	c.attempt++
-	c.engine().Schedule(c.m.Cfg.AbortPenalty+c.retryBackoff(), c.beginAttempt)
+	c.engine().Schedule(c.m.Cfg.AbortPenalty+c.retryBackoff(), c.beginAttemptFn)
 }
 
 // retryBackoff returns the randomized exponential backoff for the next
@@ -374,10 +380,12 @@ func (c *Core) commitSpeculative() {
 		c.ertEntry.NoteCommit()
 	}
 	c.m.Stats.Instructions += c.attemptInstr
-	c.tracef("commit spec retries=%d sq=%d", c.conflictRetries, 0)
+	if c.m.trace != nil {
+		c.tracef("commit spec retries=%d sq=%d", c.conflictRetries, 0)
+	}
 	c.m.Stats.RecordCommit(stats.CommitSpeculative, c.conflictRetries)
 	c.recordFig1Attempt(true)
-	c.engine().Schedule(drain, c.finishInvocation)
+	c.engine().Schedule(drain, c.finishInvFn)
 }
 
 // clearTxSets drops the transactional read/write sets so remote requests no
@@ -402,7 +410,17 @@ func (c *Core) applySQ() {
 func (c *Core) finishInvocation() {
 	c.m.Stats.RecordLatency(c.engine().Now() - c.invStart)
 	c.mode = ModeIdle
-	c.engine().Schedule(1, c.nextInvocation)
+	c.engine().Schedule(1, c.nextInvocationFn)
+}
+
+// clearLineSet empties a line-set map in place so its buckets are reused by
+// the next attempt instead of being reallocated. (The builtin clear is
+// shadowed in this package by the `clear "repro/internal/core"` import
+// alias, hence the helper.)
+func clearLineSet(m map[mem.LineAddr]bool) {
+	for k := range m {
+		delete(m, k)
+	}
 }
 
 // recordFig1Attempt updates the Figure 1 footprint-pair instrumentation at
@@ -412,22 +430,24 @@ func (c *Core) recordFig1Attempt(committed bool) {
 	switch c.attempt {
 	case 0:
 		if !committed {
-			c.fig1First = make(map[mem.LineAddr]bool, len(c.touched))
+			clearLineSet(c.fig1First)
 			for l := range c.touched {
 				c.fig1First[l] = true
 			}
+			c.fig1HasFirst = true
 		}
 	case 1:
-		if len(c.fig1First) == 0 || c.fig1Retry != nil {
+		if !c.fig1HasFirst || len(c.fig1First) == 0 || c.fig1HasRetry {
 			// No reference footprint: the first attempt aborted before
 			// touching memory (e.g. a fallback-lock invalidation at
 			// XBegin); such pairs say nothing about mutability.
 			return
 		}
-		c.fig1Retry = make(map[mem.LineAddr]bool, len(c.touched))
+		clearLineSet(c.fig1Retry)
 		for l := range c.touched {
 			c.fig1Retry[l] = true
 		}
+		c.fig1HasRetry = true
 		c.m.Stats.RetryPairs++
 		if c.fig1PairImmutable(committed) {
 			c.m.Stats.ImmutableSmallPairs++

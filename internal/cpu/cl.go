@@ -35,7 +35,7 @@ func (c *Core) acquireFallbackReadLock() {
 		c.lockWalk(0)
 		return
 	}
-	c.engine().Schedule(c.m.Cfg.SpinInterval, c.acquireFallbackReadLock)
+	c.engine().Schedule(c.m.Cfg.SpinInterval, c.acquireReadLckFn)
 }
 
 // lockWalk acquires the cacheline locks the ALT marked NeedsLocking, in
@@ -51,7 +51,7 @@ func (c *Core) lockWalk(i int) {
 		// execution with the tail of the locking walk; we serialise them,
 		// a timing-only simplification applied identically to all
 		// configurations.)
-		c.engine().Schedule(0, c.step)
+		c.engine().Schedule(0, c.stepFn)
 		return
 	}
 	e := alt.EntryAt(i)
@@ -61,7 +61,9 @@ func (c *Core) lockWalk(i int) {
 		e.Hit = true
 	}
 	res := c.m.Dir.Lock(c.id, e.Addr, coherence.ReqAttrs{})
-	c.tracef("lock %s written=%v retry=%v", e.Addr, e.Written, res.Retry)
+	if c.m.trace != nil {
+		c.tracef("lock %s written=%v retry=%v", e.Addr, e.Written, res.Retry)
+	}
 	if res.Nacked {
 		// A prioritised holder (power transaction, remote S-CL speculative
 		// set) refused the lock: abort the CL attempt instead of spinning,
@@ -71,15 +73,22 @@ func (c *Core) lockWalk(i int) {
 	}
 	if res.Retry {
 		c.m.Stats.LockRetries++
-		c.engine().Schedule(res.Latency, func() { c.lockWalk(i) })
+		c.walkIdx = i
+		c.engine().Schedule(res.Latency, c.lockWalkFn)
 		return
 	}
 	e.Locked = true
 	c.m.Stats.LinesLocked++
 	c.l1Insert(e.Addr)
 	c.l1.Pin(e.Addr)
-	c.engine().Schedule(res.Latency, func() { c.lockWalk(i + 1) })
+	c.walkIdx = i + 1
+	c.engine().Schedule(res.Latency, c.lockWalkFn)
 }
+
+// resumeLockWalk is the pre-bound continuation of an in-flight lock walk:
+// it resumes at the saved table index (a typed event record rather than a
+// fresh closure per scheduled step).
+func (c *Core) resumeLockWalk() { c.lockWalk(c.walkIdx) }
 
 // commitCL finishes a successful NS-CL or S-CL execution: the buffered
 // stores land while every written line is still cacheline-locked, then the
@@ -114,5 +123,5 @@ func (c *Core) commitCL() {
 	c.m.Stats.RecordCommit(mode, c.conflictRetries)
 	c.m.Stats.RecordCommitAR(c.inv.Prog.ID, c.inv.Prog.Name, mode)
 	c.recordFig1Attempt(true)
-	c.engine().Schedule(drain, c.finishInvocation)
+	c.engine().Schedule(drain, c.finishInvFn)
 }

@@ -53,6 +53,18 @@ type storeEntry struct {
 	val  uint64
 }
 
+// pendingOp is the single in-flight memory operation of a core: the typed
+// event record consumed by completeOp when the operation's latency elapses.
+// The interpreter is strictly sequential per core — at most one load or
+// store awaits completion at a time — so one slot suffices and scheduling a
+// completion allocates nothing.
+type pendingOp struct {
+	in    isa.Instr
+	addr  mem.Addr
+	indir bool
+	store bool
+}
+
 // Core is one simulated hardware thread: interpreter state, transactional
 // state, and CLEAR per-core tables.
 type Core struct {
@@ -75,9 +87,14 @@ type Core struct {
 	ertEntry        *clear.ERTEntry
 	heldReason      htm.AbortReason
 
-	// Figure 1 instrumentation.
-	fig1First map[mem.LineAddr]bool
-	fig1Retry map[mem.LineAddr]bool
+	// Figure 1 instrumentation. The maps are allocated once per core and
+	// reused across invocations; the Has flags say whether the current
+	// invocation has filled them (a nil-map sentinel would force a fresh
+	// allocation per aborting invocation).
+	fig1First    map[mem.LineAddr]bool
+	fig1Retry    map[mem.LineAddr]bool
+	fig1HasFirst bool
+	fig1HasRetry bool
 
 	// invStart is when the current invocation's first attempt began
 	// (after think time), for the latency histogram.
@@ -112,11 +129,30 @@ type Core struct {
 	// rng drives retry-backoff jitter; deterministic per (run seed, core).
 	rng *sim.RNG
 
+	// Pre-bound event functions, created once in newCore. Scheduling a
+	// method value (c.step) evaluates to a fresh closure on every use, and
+	// since the engine retains it the allocation is a heap allocation —
+	// on every simulated instruction. Binding each continuation once makes
+	// the whole schedule path allocation-free.
+	stepFn           sim.Event
+	beginAttemptFn   sim.Event
+	nextInvocationFn sim.Event
+	finishInvFn      sim.Event
+	completeOpFn     sim.Event
+	lockWalkFn       sim.Event
+	acquireReadLckFn sim.Event
+	tryFallbackWrFn  sim.Event
+
+	// op is the single pending memory operation (see pendingOp); walkIdx is
+	// the resume index of an interrupted lock walk.
+	op      pendingOp
+	walkIdx int
+
 	done bool
 }
 
 func newCore(id int, m *Machine) *Core {
-	return &Core{
+	c := &Core{
 		id:            id,
 		m:             m,
 		l1:            cache.New(m.Cfg.L1),
@@ -127,9 +163,20 @@ func newCore(id int, m *Machine) *Core {
 		writeSet:      make(map[mem.LineAddr]bool),
 		sqForward:     make(map[mem.Addr]uint64),
 		touched:       make(map[mem.LineAddr]bool),
+		fig1First:     make(map[mem.LineAddr]bool),
+		fig1Retry:     make(map[mem.LineAddr]bool),
 		failedFetched: make(map[mem.LineAddr]bool),
 		rng:           sim.NewRNG(m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1),
 	}
+	c.stepFn = c.step
+	c.beginAttemptFn = c.beginAttempt
+	c.nextInvocationFn = c.nextInvocation
+	c.finishInvFn = c.finishInvocation
+	c.completeOpFn = c.completeOp
+	c.lockWalkFn = c.resumeLockWalk
+	c.acquireReadLckFn = c.acquireFallbackReadLock
+	c.tryFallbackWrFn = c.tryAcquireFallbackWrite
+	return c
 }
 
 // ID returns the core's index.
@@ -141,7 +188,7 @@ func (c *Core) Mode() Mode { return c.mode }
 func (c *Core) engine() *sim.Engine { return c.m.Engine }
 
 func (c *Core) start() {
-	c.engine().Schedule(0, c.nextInvocation)
+	c.engine().Schedule(0, c.nextInvocationFn)
 }
 
 func (c *Core) nextInvocation() {
@@ -158,11 +205,11 @@ func (c *Core) nextInvocation() {
 	c.retryMode = clear.RetrySpeculative
 	c.heldReason = htm.AbortNone
 	c.ertEntry = nil
-	c.fig1First = nil
-	c.fig1Retry = nil
+	c.fig1HasFirst = false
+	c.fig1HasRetry = false
 	c.waitedOnLock = false
 	c.invStart = c.engine().Now() + inv.Think
-	c.engine().Schedule(inv.Think, c.beginAttempt)
+	c.engine().Schedule(inv.Think, c.beginAttemptFn)
 }
 
 // signalAbort delivers an asynchronous abort (from the coherence hook); the
@@ -180,32 +227,27 @@ func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, a
 	inWrite := c.writeSet[line]
 	conflict := (isWrite && (inRead || inWrite)) || (!isWrite && inWrite)
 
-	yield := func() coherence.HolderResponse {
-		if isWrite {
-			c.l1.Remove(line)
-			delete(c.readSet, line)
-			delete(c.writeSet, line)
-		}
-		return coherence.HolderYields
-	}
-
 	if !conflict {
-		return yield()
+		return c.yieldLine(line, isWrite)
 	}
 
-	c.tracef("hook line=%s isWrite=%v req=%d conflict=%v", line, isWrite, requester, conflict)
+	if c.m.trace != nil {
+
+		c.tracef("hook line=%s isWrite=%v req=%d conflict=%v", line, isWrite, requester, conflict)
+
+	}
 	switch c.mode {
 	case ModeSpeculative:
 		if isWrite && line == c.m.Fallback.Line {
 			// Another thread is taking the fallback lock out from under our
 			// subscription.
 			c.signalAbort(htm.AbortOtherFallback)
-			return yield()
+			return c.yieldLine(line, isWrite)
 		}
 		if attrs.NonSpec {
 			// Non-speculative fallback execution always wins.
 			c.signalAbort(htm.AbortMemoryConflict)
-			return yield()
+			return c.yieldLine(line, isWrite)
 		}
 		if c.power && !attrs.Power {
 			// Power-mode holder refuses; the requester aborts (§5.2).
@@ -213,11 +255,11 @@ func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, a
 		}
 		// Requester wins.
 		c.signalAbort(htm.AbortMemoryConflict)
-		return yield()
+		return c.yieldLine(line, isWrite)
 
 	case ModeFailedDiscovery:
 		// Already failed: nothing more to lose; yield without a new signal.
-		return yield()
+		return c.yieldLine(line, isWrite)
 
 	case ModeSCL:
 		// Locked lines are refused at the directory and never reach this
@@ -235,16 +277,53 @@ func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, a
 			c.noteConflictingRead(line)
 		}
 		c.signalAbort(htm.AbortMemoryConflict)
-		return yield()
+		return c.yieldLine(line, isWrite)
 
 	case ModeNSCL:
 		// NS-CL holds its entire footprint locked, so a conflicting request
 		// can only be a stale set entry; treat as yield.
-		return yield()
+		return c.yieldLine(line, isWrite)
 
 	default: // ModeIdle, ModeFallback
-		return yield()
+		return c.yieldLine(line, isWrite)
 	}
+}
+
+// yieldLine relinquishes line to a remote writer (dropping it from the L1
+// and the transactional sets) and answers HolderYields. A method rather
+// than a per-call closure: OnRemoteRequest runs inside every remote
+// directory transaction, and the old `yield := func() {...}` literal
+// allocated on each invocation.
+func (c *Core) yieldLine(line mem.LineAddr, isWrite bool) coherence.HolderResponse {
+	if isWrite {
+		c.l1.Remove(line)
+		delete(c.readSet, line)
+		delete(c.writeSet, line)
+	}
+	return coherence.HolderYields
+}
+
+// completeOp consumes the pending-op slot when a memory operation's latency
+// has elapsed (the engine's typed-event continuation for loads and stores).
+func (c *Core) completeOp() {
+	op := c.op
+	if op.store {
+		c.completeStore(op.in, op.addr, op.indir)
+	} else {
+		c.completeLoad(op.in, op.addr, op.indir)
+	}
+}
+
+// scheduleLoadDone files the load's completion record and schedules it.
+func (c *Core) scheduleLoadDone(lat sim.Tick, in isa.Instr, addr mem.Addr, indir bool) {
+	c.op = pendingOp{in: in, addr: addr, indir: indir}
+	c.engine().Schedule(lat, c.completeOpFn)
+}
+
+// scheduleStoreDone files the store's completion record and schedules it.
+func (c *Core) scheduleStoreDone(lat sim.Tick, in isa.Instr, addr mem.Addr, indir bool) {
+	c.op = pendingOp{in: in, addr: addr, indir: indir, store: true}
+	c.engine().Schedule(lat, c.completeOpFn)
 }
 
 // noteConflictingRead records line in the CRT: a read that did not require

@@ -98,14 +98,14 @@ func (c *Core) step() {
 		c.disc.RecordBranch(c.indirOf(in.Src1) || c.indirOf(in.Src2))
 		if taken {
 			c.pc = int(in.Imm)
-			c.engine().Schedule(1, c.step)
+			c.engine().Schedule(1, c.stepFn)
 		} else {
 			c.advance(1)
 		}
 
 	case isa.OpJump:
 		c.pc = int(in.Imm)
-		c.engine().Schedule(1, c.step)
+		c.engine().Schedule(1, c.stepFn)
 
 	case isa.OpLoad:
 		c.doLoad(in)
@@ -179,7 +179,7 @@ func (c *Core) windowExhausted() {
 
 func (c *Core) advance(cost sim.Tick) {
 	c.pc++
-	c.engine().Schedule(cost, c.step)
+	c.engine().Schedule(cost, c.stepFn)
 }
 
 func (c *Core) evalBranch(in isa.Instr) bool {

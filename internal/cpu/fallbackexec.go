@@ -26,7 +26,7 @@ func (c *Core) enterFallback() {
 
 func (c *Core) tryAcquireFallbackWrite() {
 	if !c.m.Fallback.TryAcquireWrite(c.id) {
-		c.engine().Schedule(c.m.Cfg.SpinInterval, c.tryAcquireFallbackWrite)
+		c.engine().Schedule(c.m.Cfg.SpinInterval, c.tryFallbackWrFn)
 		return
 	}
 	// Setting the lock busy requires exclusive permission on the lock line;
@@ -34,7 +34,7 @@ func (c *Core) tryAcquireFallbackWrite() {
 	// speculative transactions (§2.1).
 	res := c.m.Dir.Write(c.id, c.m.Fallback.Line, coherence.ReqAttrs{NonSpec: true})
 	c.m.Stats.FallbackAcquisitions++
-	c.engine().Schedule(res.Latency, c.step)
+	c.engine().Schedule(res.Latency, c.stepFn)
 }
 
 // commitFallback finishes a fallback execution: stores already reached

@@ -32,7 +32,9 @@ func (c *Core) readData(addr mem.Addr) uint64 {
 // update register and indirection state, record discovery info, advance.
 func (c *Core) completeLoad(in isa.Instr, addr mem.Addr, indirection bool) {
 	c.regs[in.Dst] = c.readData(addr)
-	c.tracef("load %s -> %d", addr, c.regs[in.Dst])
+	if c.m.trace != nil {
+		c.tracef("load %s -> %d", addr, c.regs[in.Dst])
+	}
 	c.setIndir(in.Dst, true)
 	line := addr.Line()
 	c.disc.RecordAccess(line, c.m.Dir.SetOf(line), false, indirection)
@@ -41,7 +43,7 @@ func (c *Core) completeLoad(in isa.Instr, addr mem.Addr, indirection bool) {
 		return
 	}
 	c.pc++
-	c.engine().Schedule(0, c.step)
+	c.engine().Schedule(0, c.stepFn)
 }
 
 // discoveryExhausted implements assessment 1 of §4.1 for failed-mode
@@ -57,7 +59,9 @@ func (c *Core) discoveryExhausted() bool {
 // advance.
 func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 	val := c.regs[in.Src2]
-	c.tracef("store %s = %d", addr, val)
+	if c.m.trace != nil {
+		c.tracef("store %s = %d", addr, val)
+	}
 	if c.mode == ModeFallback {
 		c.m.Mem.WriteWord(addr, val)
 	} else {
@@ -75,7 +79,7 @@ func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 		return
 	}
 	c.pc++
-	c.engine().Schedule(0, c.step)
+	c.engine().Schedule(0, c.stepFn)
 }
 
 // sqOverflow handles a full store queue according to the mode.
@@ -102,7 +106,7 @@ func (c *Core) sqOverflow() {
 func (c *Core) conflictOnOwnRequest() {
 	if c.mode == ModeSpeculative && c.disc.Active && !c.m.Cfg.DisableDiscoveryContinuation {
 		c.enterFailedMode(htm.AbortMemoryConflict)
-		c.engine().Schedule(1, c.step) // re-execute at same pc in failed mode
+		c.engine().Schedule(1, c.stepFn) // re-execute at same pc in failed mode
 		return
 	}
 	c.abortNow(htm.AbortMemoryConflict)
@@ -138,7 +142,7 @@ func (c *Core) doLoad(in isa.Instr) {
 				panic(fmt.Sprintf("core %d silent read of %s without directory registration (tick %d)", c.id, line, c.engine().Now()))
 			}
 			c.readSet[line] = true
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeLoad(in, addr, indirection) })
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Read(c.id, line, coherence.ReqAttrs{Power: c.power})
@@ -147,21 +151,21 @@ func (c *Core) doLoad(in isa.Instr) {
 			return
 		}
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step) // re-issue
+			c.engine().Schedule(res.Latency, c.stepFn) // re-issue
 			return
 		}
 		c.readSet[line] = true
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeLoad(in, addr, indirection) })
+		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	case ModeFailedDiscovery:
 		if c.l1.Access(line) || c.failedFetched[line] {
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeLoad(in, addr, indirection) })
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Read(c.id, line, coherence.ReqAttrs{FailedMode: true})
 		c.failedFetched[line] = true
-		c.engine().Schedule(res.Latency, func() { c.completeLoad(in, addr, indirection) })
+		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	case ModeSCL:
 		// S-CL "-writes-" mode (§4.4.2): the learned write set (plus CRT
@@ -173,7 +177,7 @@ func (c *Core) doLoad(in isa.Instr) {
 		// aborting it (§4.3 ii holds only in "-all-" mode).
 		if c.lineLockedByUs(line) || c.readSet[line] || c.writeSet[line] || c.l1.Access(line) {
 			c.readSet[line] = true
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeLoad(in, addr, indirection) })
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Read(c.id, line, coherence.ReqAttrs{NackableLoad: true})
@@ -188,12 +192,12 @@ func (c *Core) doLoad(in isa.Instr) {
 			return
 		}
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step)
+			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
 		c.readSet[line] = true
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeLoad(in, addr, indirection) })
+		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	case ModeNSCL:
 		if !c.disc.ALT.Contains(line) {
@@ -202,23 +206,23 @@ func (c *Core) doLoad(in isa.Instr) {
 			c.abortNow(htm.AbortDeviation)
 			return
 		}
-		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeLoad(in, addr, indirection) })
+		c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 
 	case ModeFallback:
 		if c.l1.Access(line) {
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeLoad(in, addr, indirection) })
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Read(c.id, line, coherence.ReqAttrs{NonSpec: true})
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step)
+			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
 		if res.Nacked {
 			panic(fmt.Sprintf("cpu: core %d fallback load nacked at %s", c.id, line))
 		}
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeLoad(in, addr, indirection) })
+		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	default:
 		panic(fmt.Sprintf("cpu: core %d load in mode %v", c.id, c.mode))
@@ -242,7 +246,7 @@ func (c *Core) doStore(in isa.Instr) {
 		// otherwise a GetX/upgrade goes to the directory.
 		if c.writeSet[line] || (c.m.Dir.Owner(line) == c.id && c.l1.Access(line)) {
 			c.writeSet[line] = true
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeStore(in, addr, indirection) })
+			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Write(c.id, line, coherence.ReqAttrs{Power: c.power})
@@ -251,23 +255,23 @@ func (c *Core) doStore(in isa.Instr) {
 			return
 		}
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step)
+			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
 		c.writeSet[line] = true
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeStore(in, addr, indirection) })
+		c.scheduleStoreDone(res.Latency, in, addr, indirection)
 
 	case ModeFailedDiscovery:
 		// Failed-mode stores stay in the SQ and request no permissions
 		// (§4.2, §5.1).
-		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeStore(in, addr, indirection) })
+		c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 
 	case ModeSCL:
 		if c.lineLockedByUs(line) || c.writeSet[line] ||
 			(c.m.Dir.Owner(line) == c.id && c.l1.Access(line)) {
 			c.writeSet[line] = true
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeStore(in, addr, indirection) })
+			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		// A store outside the locked set: the write footprint deviated from
@@ -279,35 +283,35 @@ func (c *Core) doStore(in isa.Instr) {
 			return
 		}
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step)
+			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
 		c.writeSet[line] = true
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeStore(in, addr, indirection) })
+		c.scheduleStoreDone(res.Latency, in, addr, indirection)
 
 	case ModeNSCL:
 		if !c.disc.ALT.Contains(line) {
 			c.abortNow(htm.AbortDeviation)
 			return
 		}
-		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeStore(in, addr, indirection) })
+		c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 
 	case ModeFallback:
 		if c.m.Dir.Owner(line) == c.id && c.l1.Access(line) {
-			c.engine().Schedule(c.m.Cfg.Lat.L1Hit, func() { c.completeStore(in, addr, indirection) })
+			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Write(c.id, line, coherence.ReqAttrs{NonSpec: true})
 		if res.Retry {
-			c.engine().Schedule(res.Latency, c.step)
+			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
 		if res.Nacked {
 			panic(fmt.Sprintf("cpu: core %d fallback store nacked at %s", c.id, line))
 		}
 		c.l1Insert(line)
-		c.engine().Schedule(res.Latency, func() { c.completeStore(in, addr, indirection) })
+		c.scheduleStoreDone(res.Latency, in, addr, indirection)
 
 	default:
 		panic(fmt.Sprintf("cpu: core %d store in mode %v", c.id, c.mode))

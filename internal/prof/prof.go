@@ -1,0 +1,53 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags used by the
+// perf workflow: the simulator is entirely CPU-bound host code, and pprof
+// against a real run (rather than a micro-benchmark) is how hot-path work on
+// the engine, directory, and interpreter is located and validated.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (either may be empty)
+// and returns a stop function that finishes them. The stop function is
+// idempotent, so callers can both defer it and invoke it on early-exit error
+// paths (os.Exit skips deferred calls).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write mem profile:", err)
+			}
+		}
+	}, nil
+}

@@ -2,21 +2,34 @@
 // that drives every timed component of the CLEAR reproduction: cores,
 // caches, the coherence directory, and the interconnect.
 //
-// The engine keeps a binary heap of events ordered by (tick, sequence
-// number). The sequence number makes event ordering total and therefore the
-// whole simulation deterministic: two runs with the same seed produce
-// bit-identical statistics, a property the test suite checks.
+// Events are totally ordered by (tick, sequence number); the sequence number
+// makes the order total and therefore the whole simulation deterministic:
+// two runs with the same seed produce bit-identical statistics, a property
+// the test suite checks at both the engine and the machine level.
+//
+// The engine is the hottest host code in the simulator — every simulated
+// load, store, and branch passes through Schedule and Step — so its data
+// structures are chosen for zero steady-state allocation:
+//
+//   - Near-future events (delay < laneTicks, the dominant 0/1/L1-hit
+//     delays) go to a ring of per-tick FIFO buckets ("fast lane") and never
+//     touch the heap. Appending to a bucket reuses its backing array.
+//   - Far-future events go to a monomorphic binary min-heap of
+//     scheduledEvent values: no container/heap, no interface boxing, no
+//     per-push allocation.
+//   - Popped slots (heap and lane) are zeroed so retired event closures
+//     become garbage immediately instead of being retained by backing
+//     arrays.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Tick is the simulated clock, measured in core cycles.
 type Tick uint64
 
-// Event is a callback scheduled to run at a specific tick.
+// Event is a callback scheduled to run at a specific tick. Callers on hot
+// paths should pass pre-bound function values (method values created once,
+// not per call) so scheduling does not allocate.
 type Event func()
 
 type scheduledEvent struct {
@@ -25,27 +38,29 @@ type scheduledEvent struct {
 	call Event
 }
 
-type eventHeap []scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less is the total event order: earlier tick first, then earlier sequence
+// number (FIFO within a tick).
+func (a scheduledEvent) less(b scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// laneTicks is the fast-lane horizon: events with delay < laneTicks are
+// bucketed per tick instead of entering the heap. 64 covers the dominant
+// delays (0, 1, L1 hit, spin intervals, abort penalties) while keeping the
+// worst-case bucket scan trivial. Must be a power of two.
+const laneTicks = 64
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
+const laneMask = laneTicks - 1
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+// laneBucket is one tick's FIFO of near-future events. head indexes the
+// next event to pop; events append at the tail in sequence order, so a
+// bucket is always sorted by seq.
+type laneBucket struct {
+	head int
+	evs  []scheduledEvent
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
@@ -53,8 +68,16 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Tick
 	seq     uint64
-	queue   eventHeap
 	stopped bool
+
+	// lane holds events with at in [now, now+laneTicks), indexed by
+	// at&laneMask; laneLen is the total number of events across buckets.
+	lane    [laneTicks]laneBucket
+	laneLen int
+
+	// heap is a binary min-heap (by scheduledEvent.less) of far-future
+	// events.
+	heap []scheduledEvent
 
 	// Executed counts how many events have run; exposed for tests and for
 	// the harness's progress accounting.
@@ -63,9 +86,7 @@ type Engine struct {
 
 // NewEngine returns an engine with an empty event queue at tick zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated tick.
@@ -78,7 +99,14 @@ func (e *Engine) Schedule(delay Tick, call Event) {
 		panic("sim: Schedule called with nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, scheduledEvent{at: e.now + delay, seq: e.seq, call: call})
+	ev := scheduledEvent{at: e.now + delay, seq: e.seq, call: call}
+	if delay < laneTicks {
+		b := &e.lane[int(ev.at)&laneMask]
+		b.evs = append(b.evs, ev)
+		e.laneLen++
+		return
+	}
+	e.heapPush(ev)
 }
 
 // ScheduleAt runs call at an absolute tick, which must not be in the past.
@@ -90,19 +118,74 @@ func (e *Engine) ScheduleAt(at Tick, call Event) {
 }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.laneLen + len(e.heap) }
 
 // Stop makes the currently running Run or RunUntil call return after the
 // in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// nextLane returns the bucket holding the earliest lane event and its tick.
+// Only call with e.laneLen > 0; the scan is bounded by laneTicks and in the
+// common case hits the first bucket (an event due this tick).
+func (e *Engine) nextLane() (*laneBucket, Tick) {
+	for t := e.now; ; t++ {
+		if b := &e.lane[int(t)&laneMask]; b.head < len(b.evs) {
+			return b, t
+		}
+	}
+}
+
+// nextAt returns the tick of the next event without popping it.
+func (e *Engine) nextAt() (Tick, bool) {
+	if e.laneLen > 0 {
+		_, at := e.nextLane()
+		// A heap event can never precede a lane event at an earlier tick,
+		// but at the same tick the lane event still wins only if its seq is
+		// lower; for the peeked *tick* the minimum of the two is exact.
+		if len(e.heap) > 0 && e.heap[0].at < at {
+			return e.heap[0].at, true
+		}
+		return at, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// popNext removes and returns the globally next event in (tick, seq) order.
+func (e *Engine) popNext() (scheduledEvent, bool) {
+	if e.laneLen == 0 {
+		if len(e.heap) == 0 {
+			return scheduledEvent{}, false
+		}
+		return e.heapPop(), true
+	}
+	b, at := e.nextLane()
+	if len(e.heap) > 0 {
+		if top := &e.heap[0]; top.at < at || (top.at == at && top.seq < b.evs[b.head].seq) {
+			return e.heapPop(), true
+		}
+	}
+	ev := b.evs[b.head]
+	b.evs[b.head] = scheduledEvent{} // release the closure for GC
+	b.head++
+	if b.head == len(b.evs) {
+		// Drained: rewind, keeping the backing array for reuse.
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	e.laneLen--
+	return ev, true
+}
+
 // Step executes the single next event and returns true, or returns false if
 // the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.popNext()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(scheduledEvent)
 	e.now = ev.at
 	e.Executed++
 	ev.call()
@@ -121,14 +204,60 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Tick) bool {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		at, ok := e.nextAt()
+		if !ok {
 			return true
 		}
-		if e.queue[0].at > deadline {
+		if at > deadline {
 			e.now = deadline
 			return false
 		}
 		e.Step()
 	}
-	return len(e.queue) == 0
+	return e.Pending() == 0
+}
+
+// heapPush inserts ev into the far-future heap (monomorphic sift-up).
+func (e *Engine) heapPush(ev scheduledEvent) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].less(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// heapPop removes the minimum event (monomorphic sift-down). The vacated
+// tail slot is zeroed so the popped event's closure is not retained by the
+// backing array.
+func (e *Engine) heapPop() scheduledEvent {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{}
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			m = r
+		}
+		if !h[m].less(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
 }

@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digest renders every field of the run deterministically: identical runs
+// produce identical strings, regardless of map iteration order or pointer
+// identity. The machine-level determinism regression test hashes it, and
+// perf work on the engine compares digests across rewrites to prove the
+// simulation is bit-identical.
+func (r *Run) Digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d commits=%d byMode=%v byRetries=%v", r.Cycles, r.Commits, r.CommitsByMode, r.CommitsByRetries)
+	fmt.Fprintf(&b, " aborts=%d byBucket=%v", r.Aborts, r.AbortsByBucket)
+	fmt.Fprintf(&b, " instr=%d abortedInstr=%d", r.Instructions, r.AbortedInstructions)
+	fmt.Fprintf(&b, " discCycles=%d discRuns=%d", r.DiscoveryCycles, r.DiscoveryRuns)
+	fmt.Fprintf(&b, " linesLocked=%d lockRetries=%d scl=%d nscl=%d crt=%d", r.LinesLocked, r.LockRetries, r.SCLAttempts, r.NSCLAttempts, r.CRTInsertions)
+	fmt.Fprintf(&b, " l1=%d pairs=%d/%d fallbackAcq=%d powerClaims=%d", r.L1Accesses, r.ImmutableSmallPairs, r.RetryPairs, r.FallbackAcquisitions, r.PowerClaims)
+	fmt.Fprintf(&b, " lat=%v", r.LatencyHist)
+	ids := make([]int, 0, len(r.PerAR))
+	for id := range r.PerAR {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := r.PerAR[id]
+		fmt.Fprintf(&b, " ar%d={%s commits=%d byMode=%v aborts=%d}", id, s.Name, s.Commits, s.CommitsByMode, s.Aborts)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench_hotpath.sh — measure the simulation hot path and write BENCH_hotpath.json.
+#
+# Runs the three hot-path micro/macro benchmarks:
+#   BenchmarkEngineScheduleStep      (internal/sim)     event schedule+dispatch
+#   BenchmarkDirectoryLockUnlockAll  (internal/coherence) CL lock walk + bulk unlock
+#   BenchmarkHarnessRunHot           (root)             full intruder/ConfigC run
+#
+# and emits BENCH_hotpath.json in the repo root with the fresh numbers next to
+# the recorded pre-optimisation baseline (the container/heap engine, per-op
+# closures, and O(directory) UnlockAll — measured on the same host class
+# before the rewrite; see DESIGN.md "Host performance").
+#
+# Usage: scripts/bench_hotpath.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_hotpath.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_hotpath: engine ..." >&2
+go test -run xxx -bench 'BenchmarkEngineScheduleStep$' -benchmem ./internal/sim/ >"$tmp/engine.txt"
+echo "bench_hotpath: directory ..." >&2
+go test -run xxx -bench 'BenchmarkDirectoryLockUnlockAll' -benchmem ./internal/coherence/ >"$tmp/dir.txt"
+echo "bench_hotpath: harness (intruder/C, 32 cores) ..." >&2
+go test -run xxx -bench 'BenchmarkHarnessRunHot$' -benchtime 5x -benchmem . >"$tmp/harness.txt"
+
+# extract <file> <benchmark-regex> -> "ns_per_op allocs_per_op bytes_per_op"
+extract() {
+  awk -v pat="$2" '$1 ~ pat { ns=$3; b=$5; a=$7; print ns, a, b; exit }' "$1"
+}
+
+read -r eng_ns eng_allocs eng_bytes < <(extract "$tmp/engine.txt" '^BenchmarkEngineScheduleStep')
+read -r dir256_ns _ _ < <(extract "$tmp/dir.txt" 'lines256')
+read -r dir4096_ns _ _ < <(extract "$tmp/dir.txt" 'lines4096')
+read -r dir65536_ns _ _ < <(extract "$tmp/dir.txt" 'lines65536')
+read -r run_ns run_allocs run_bytes < <(extract "$tmp/harness.txt" '^BenchmarkHarnessRunHot')
+
+speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+cat >"$out" <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": "$(go env GOHOSTOS)/$(go env GOHOSTARCH)",
+  "go": "$(go env GOVERSION)",
+  "benchmarks": {
+    "EngineScheduleStep": {
+      "before": { "ns_per_op": 94.32, "allocs_per_op": 2, "bytes_per_op": 48 },
+      "after":  { "ns_per_op": $eng_ns, "allocs_per_op": $eng_allocs, "bytes_per_op": $eng_bytes },
+      "speedup": $(speedup 94.32 "$eng_ns")
+    },
+    "DirectoryLockUnlockAll": {
+      "before": { "lines256_ns": 2385, "lines4096_ns": 41755, "lines65536_ns": 1236586 },
+      "after":  { "lines256_ns": $dir256_ns, "lines4096_ns": $dir4096_ns, "lines65536_ns": $dir65536_ns },
+      "note": "before scales with directory size; after is flat (O(held locks))"
+    },
+    "HarnessRunHot": {
+      "config": "intruder/ConfigC, 32 cores, 120 ops/thread",
+      "before": { "ns_per_op": 101596584, "allocs_per_op": 824059, "bytes_per_op": 20021123 },
+      "after":  { "ns_per_op": $run_ns, "allocs_per_op": $run_allocs, "bytes_per_op": $run_bytes },
+      "speedup": $(speedup 101596584 "$run_ns"),
+      "alloc_reduction": $(speedup 824059 "$run_allocs")
+    }
+  }
+}
+EOF
+echo "bench_hotpath: wrote $out" >&2
