@@ -1,0 +1,155 @@
+// Command clearfuzz drives the randomized litmus harness: it generates
+// seeded random atomic-region programs over a small pool of shared
+// cachelines, runs every case under the selected configurations (B, P, C, W)
+// with the invariant oracle attached, and differentially validates the final
+// memory state against a serial replay in the observed commit order. Any
+// failure shrinks to a minimal reproducer and prints the seed, the program
+// dump, and the oracle's findings; replays are bit-identical, so the seed
+// alone reproduces a failure.
+//
+// Usage:
+//
+//	clearfuzz -runs 1000 -seed 1            # 1000 cases, all four configs
+//	clearfuzz -configs CW -runs 200         # CLEAR configs only
+//	clearfuzz -replay 42                    # re-run one seed verbosely
+//	clearfuzz -inject                       # prove the oracle catches a
+//	                                        # planted single-retry bug
+//
+// Exit status is 0 iff every case is invariant-clean and serializable
+// (respectively, with -inject, iff the planted bug is caught and shrunk).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/check/fuzz"
+)
+
+func main() {
+	var (
+		runs    = flag.Int("runs", 256, "number of random cases to run")
+		seed    = flag.Uint64("seed", 1, "first case seed (cases use seed..seed+runs-1)")
+		configs = flag.String("configs", "BPCW", "configurations to run each case under (subset of BPCW)")
+		replay  = flag.Uint64("replay", 0, "replay this single seed verbosely and exit")
+		inject  = flag.Bool("inject", false, "enable the planted second-speculative-retry bug and require the oracle to catch and shrink it")
+		verbose = flag.Bool("v", false, "print every case result, not just failures")
+	)
+	flag.Parse()
+
+	cfgs, err := fuzz.ParseConfigs(*configs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cfgs) == 0 {
+		fatal(fmt.Errorf("clearfuzz: -configs selected nothing"))
+	}
+
+	if *replay != 0 {
+		os.Exit(replayOne(*replay, cfgs))
+	}
+	if *inject {
+		os.Exit(injectHunt(*seed, *runs, cfgs))
+	}
+	os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose))
+}
+
+// fuzzRun is the main loop: run cases, stop and shrink on the first failure.
+func fuzzRun(first uint64, runs int, cfgs []fuzz.Config, verbose bool) int {
+	start := time.Now()
+	programs := 0
+	for i := 0; i < runs; i++ {
+		seed := first + uint64(i)
+		c := fuzz.Gen(seed)
+		programs += len(c.Progs)
+		results := fuzz.RunAll(c, cfgs, fuzz.Opts{})
+		if verbose {
+			for _, r := range results {
+				fmt.Printf("seed %d %s\n", seed, r)
+			}
+		}
+		if fuzz.AnyFailed(results) {
+			fmt.Printf("seed %d FAILED:\n", seed)
+			for _, r := range results {
+				if r.Failed() {
+					fmt.Printf("  %s\n", r)
+				}
+			}
+			failing := func(cand *fuzz.Case) bool {
+				return fuzz.AnyFailed(fuzz.RunAll(cand, cfgs, fuzz.Opts{}))
+			}
+			shrunk := fuzz.Shrink(c, failing)
+			fmt.Printf("\nshrunk reproducer (%d effective instructions, %d cores) — replay with `clearfuzz -replay %d`:\n%s\n",
+				shrunk.EffectiveInstrs(), shrunk.Cores(), seed, shrunk.Dump())
+			return 1
+		}
+	}
+	fmt.Printf("clearfuzz: %d cases (%d AR programs) x %d configs in %v: all invariant-clean and serializable\n",
+		runs, programs, len(cfgs), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// replayOne re-runs a single seed with full result output.
+func replayOne(seed uint64, cfgs []fuzz.Config) int {
+	c := fuzz.Gen(seed)
+	fmt.Printf("case:\n%s\n", c.Dump())
+	code := 0
+	for _, r := range fuzz.RunAll(c, cfgs, fuzz.Opts{}) {
+		fmt.Println(r)
+		if r.Failed() {
+			code = 1
+		}
+	}
+	return code
+}
+
+// injectHunt proves the oracle end to end: with the planted bug enabled, a
+// CLEAR configuration must trip the single-retry invariant, and the failing
+// case must shrink to a small reproducer. Exit 0 means the bug was caught.
+func injectHunt(first uint64, runs int, cfgs []fuzz.Config) int {
+	clearCfgs := make([]fuzz.Config, 0, len(cfgs))
+	for _, c := range cfgs {
+		if c == fuzz.ConfigC || c == fuzz.ConfigW {
+			clearCfgs = append(clearCfgs, c)
+		}
+	}
+	if len(clearCfgs) == 0 {
+		fatal(fmt.Errorf("clearfuzz: -inject needs a CLEAR configuration (C or W) in -configs"))
+	}
+	caught := func(c *fuzz.Case) bool {
+		for _, r := range fuzz.RunAll(c, clearCfgs, fuzz.Opts{Inject: true}) {
+			for _, v := range r.Violations {
+				if v.Property == check.PropSingleRetry {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := 0; i < runs; i++ {
+		seed := first + uint64(i)
+		c := fuzz.Gen(seed)
+		if !caught(c) {
+			continue
+		}
+		shrunk := fuzz.Shrink(c, caught)
+		fmt.Printf("planted single-retry bug caught at seed %d; shrunk to %d effective instruction(s), %d core(s):\n%s\n",
+			seed, shrunk.EffectiveInstrs(), shrunk.Cores(), shrunk.Dump())
+		for _, r := range fuzz.RunAll(shrunk, clearCfgs, fuzz.Opts{Inject: true}) {
+			if r.ViolationCount > 0 {
+				fmt.Println(r)
+			}
+		}
+		return 0
+	}
+	fmt.Printf("clearfuzz: planted bug NOT caught in %d seeds — the oracle is blind\n", runs)
+	return 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,305 @@
+// Package fuzz implements the randomized litmus harness for the CLEAR
+// simulator: it generates seeded random atomic-region programs over a small
+// pool of shared cachelines, runs them under all four evaluated
+// configurations with the internal/check invariant oracle attached, and
+// differentially checks the final memory state against a serial replay in
+// the observed commit order. Failures shrink to a minimal reproducer (seed +
+// program dump) and replay deterministically: the whole pipeline is a pure
+// function of the case seed, witnessed by stats.Run.Digest.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// PoolBase is the address of the first shared pool line. It sits well below
+// the machine allocator base (0x100000), so the fallback-lock line can never
+// alias the pool.
+const PoolBase mem.Addr = 0x10000
+
+// Generation limits.
+const (
+	minPoolLines = 2
+	maxPoolLines = 6
+	minCores     = 2
+	maxCores     = 4
+	minOps       = 1
+	maxOps       = 6
+	minProgs     = 1
+	maxProgs     = 3
+	minProgLen   = 4  // including the final halt
+	maxProgLen   = 16 // including the final halt
+)
+
+// Register conventions of generated programs. Pointer registers hold a valid
+// pool-line base address on every path by construction: they are preset to
+// pool bases and only ever written with pool-base values (loads of a line's
+// word 0, moves from other pointer registers). Everything else is data.
+var (
+	ptrRegs  = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R8}
+	dataRegs = []isa.Reg{isa.R4, isa.R5, isa.R9, isa.R10, isa.R11}
+)
+
+// PoolLine is the deterministic initial contents of one shared pool line:
+// word 0 is the pointer slot (index of the pool line it points to), words
+// 1..7 hold data values.
+type PoolLine struct {
+	Ptr  int
+	Data [7]uint64
+}
+
+// Invocation is one generated AR invocation: which program, its register
+// presets, and the think time before it.
+type Invocation struct {
+	Prog  int // index into Case.Progs
+	Regs  []cpu.RegInit
+	Think sim.Tick
+}
+
+// Case is one self-contained fuzz case. Everything a run needs is recorded
+// here, so a Case can be cloned, mutated by the shrinker, dumped as a
+// reproducer, and re-run bit-identically.
+type Case struct {
+	Seed  uint64
+	Pool  []PoolLine
+	Progs []*isa.Program
+	// Invs[core] is that core's invocation list.
+	Invs [][]Invocation
+}
+
+// Cores returns how many cores the case uses.
+func (c *Case) Cores() int { return len(c.Invs) }
+
+// poolLineBase returns the base address of pool line i.
+func poolLineBase(i int) mem.Addr { return PoolBase + mem.Addr(i)*mem.LineSize }
+
+// Gen generates the fuzz case for seed. The generation is a pure function
+// of the seed.
+func Gen(seed uint64) *Case {
+	rng := sim.NewRNG(seed*0x9e3779b97f4a7c15 + 1)
+	c := &Case{Seed: seed}
+
+	nPool := minPoolLines + rng.Intn(maxPoolLines-minPoolLines+1)
+	c.Pool = make([]PoolLine, nPool)
+	for i := range c.Pool {
+		c.Pool[i].Ptr = rng.Intn(nPool)
+		for w := range c.Pool[i].Data {
+			c.Pool[i].Data[w] = uint64(rng.Intn(256))
+		}
+	}
+
+	nProgs := minProgs + rng.Intn(maxProgs-minProgs+1)
+	c.Progs = make([]*isa.Program, nProgs)
+	for i := range c.Progs {
+		c.Progs[i] = genProgram(i+1, rng)
+	}
+
+	nCores := minCores + rng.Intn(maxCores-minCores+1)
+	c.Invs = make([][]Invocation, nCores)
+	for core := range c.Invs {
+		nOps := minOps + rng.Intn(maxOps-minOps+1)
+		invs := make([]Invocation, nOps)
+		for k := range invs {
+			invs[k] = genInvocation(c, rng)
+		}
+		c.Invs[core] = invs
+	}
+	return c
+}
+
+// genInvocation draws a program and fresh register presets.
+func genInvocation(c *Case, rng *sim.RNG) Invocation {
+	inv := Invocation{
+		Prog:  rng.Intn(len(c.Progs)),
+		Think: sim.Tick(rng.Intn(64)),
+	}
+	for _, r := range ptrRegs {
+		inv.Regs = append(inv.Regs, cpu.RegInit{
+			Reg: r, Val: uint64(poolLineBase(rng.Intn(len(c.Pool)))),
+		})
+	}
+	for _, r := range dataRegs[:2] { // R4, R5 preset; scratch data regs start 0
+		inv.Regs = append(inv.Regs, cpu.RegInit{Reg: r, Val: uint64(rng.Intn(64))})
+	}
+	return inv
+}
+
+// genProgram builds one random AR. Safety-by-construction rules:
+//   - memory is only addressed through pointer registers with word-aligned
+//     offsets 0..56, so every access is aligned and inside the pool;
+//   - word 0 (the pointer slot) is only ever written from pointer registers,
+//     so every value a pointer register can hold is a valid pool-line base
+//     on every control path;
+//   - branches only jump forward, so every program terminates;
+//   - no RdTsc (its value is not serially replayable).
+//
+// Loads of word 0 into R8 create genuine indirections (the address of a
+// later access depends on a loaded value), which is what drives discovery
+// to the S-CL classification; data-dependent branches drive control
+// mutability; straight pointer-preset programs discover as immutable and
+// take NS-CL.
+func genProgram(id int, rng *sim.RNG) *isa.Program {
+	n := minProgLen + rng.Intn(maxProgLen-minProgLen+1)
+	code := make([]isa.Instr, 0, n)
+	for len(code) < n-1 {
+		i := len(code)
+		switch r := rng.Intn(100); {
+		case r < 30: // load
+			off := int64(rng.Intn(8) * mem.WordSize)
+			in := isa.Instr{Op: isa.OpLoad, Src1: pick(rng, ptrRegs), Imm: off}
+			if off == 0 && rng.Intn(2) == 0 {
+				in.Dst = isa.R8 // pointer chase
+			} else if off == 0 {
+				in.Dst = pick(rng, dataRegs) // pointer read as data: harmless
+			} else {
+				in.Dst = pick(rng, dataRegs)
+			}
+			code = append(code, in)
+		case r < 55: // store
+			off := int64(rng.Intn(8) * mem.WordSize)
+			in := isa.Instr{Op: isa.OpStore, Src1: pick(rng, ptrRegs), Imm: off}
+			if off == 0 {
+				in.Src2 = pick(rng, ptrRegs) // pointer slot stays a valid base
+			} else {
+				in.Src2 = pick(rng, dataRegs)
+			}
+			code = append(code, in)
+		case r < 75: // ALU on data registers
+			code = append(code, genALU(rng))
+		case r < 87: // forward conditional branch
+			if i+2 >= n {
+				code = append(code, isa.Instr{Op: isa.OpNop})
+				break
+			}
+			target := i + 1 + 1 + rng.Intn(n-1-(i+1)) // in (i+1, n-1]
+			ops := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge}
+			code = append(code, isa.Instr{
+				Op:   ops[rng.Intn(len(ops))],
+				Src1: pickAny(rng),
+				Src2: pickAny(rng),
+				Imm:  int64(target),
+			})
+		case r < 91: // mov between compatible registers
+			if rng.Intn(2) == 0 {
+				code = append(code, isa.Instr{Op: isa.OpMov, Dst: isa.R8, Src1: pick(rng, ptrRegs)})
+			} else {
+				code = append(code, isa.Instr{Op: isa.OpMov, Dst: pick(rng, dataRegs), Src1: pickAny(rng)})
+			}
+		case r < 95: // explicit abort (rare)
+			code = append(code, isa.Instr{Op: isa.OpXAbort})
+		default:
+			code = append(code, isa.Instr{Op: isa.OpNop})
+		}
+	}
+	code = append(code, isa.Instr{Op: isa.OpHalt})
+	p := &isa.Program{ID: id, Name: fmt.Sprintf("fuzz/ar%d", id), Code: code}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fuzz: generated invalid program: %v", err))
+	}
+	return p
+}
+
+// genALU emits an arithmetic instruction over data registers.
+func genALU(rng *sim.RNG) isa.Instr {
+	dst := pick(rng, dataRegs)
+	switch rng.Intn(5) {
+	case 0:
+		return isa.Instr{Op: isa.OpAddImm, Dst: dst, Src1: pick(rng, dataRegs), Imm: int64(rng.Intn(16))}
+	case 1:
+		return isa.Instr{Op: isa.OpAdd, Dst: dst, Src1: pick(rng, dataRegs), Src2: pick(rng, dataRegs)}
+	case 2:
+		return isa.Instr{Op: isa.OpSub, Dst: dst, Src1: pick(rng, dataRegs), Src2: pick(rng, dataRegs)}
+	case 3:
+		return isa.Instr{Op: isa.OpXor, Dst: dst, Src1: pick(rng, dataRegs), Src2: pick(rng, dataRegs)}
+	default:
+		return isa.Instr{Op: isa.OpAndImm, Dst: dst, Src1: pick(rng, dataRegs), Imm: int64(rng.Intn(64))}
+	}
+}
+
+func pick(rng *sim.RNG, regs []isa.Reg) isa.Reg { return regs[rng.Intn(len(regs))] }
+
+func pickAny(rng *sim.RNG) isa.Reg {
+	if rng.Intn(3) == 0 {
+		return pick(rng, ptrRegs)
+	}
+	return pick(rng, dataRegs)
+}
+
+// Clone deep-copies the case so the shrinker can mutate candidates freely.
+func (c *Case) Clone() *Case {
+	n := &Case{Seed: c.Seed}
+	n.Pool = append([]PoolLine(nil), c.Pool...)
+	n.Progs = make([]*isa.Program, len(c.Progs))
+	for i, p := range c.Progs {
+		cp := *p
+		cp.Code = append([]isa.Instr(nil), p.Code...)
+		n.Progs[i] = &cp
+	}
+	n.Invs = make([][]Invocation, len(c.Invs))
+	for core, invs := range c.Invs {
+		cl := make([]Invocation, len(invs))
+		for k, inv := range invs {
+			cl[k] = inv
+			cl[k].Regs = append([]cpu.RegInit(nil), inv.Regs...)
+		}
+		n.Invs[core] = cl
+	}
+	return n
+}
+
+// EffectiveInstrs counts the non-nop, non-halt instructions across every
+// program still referenced by some invocation — the reproducer size metric.
+func (c *Case) EffectiveInstrs() int {
+	used := make([]bool, len(c.Progs))
+	for _, invs := range c.Invs {
+		for _, inv := range invs {
+			used[inv.Prog] = true
+		}
+	}
+	total := 0
+	for i, p := range c.Progs {
+		if !used[i] {
+			continue
+		}
+		for _, in := range p.Code {
+			if in.Op != isa.OpNop && in.Op != isa.OpHalt {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Dump renders the case as a human-readable reproducer: seed, pool image,
+// program disassembly, and per-core invocation lists.
+func (c *Case) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", c.Seed)
+	fmt.Fprintf(&b, "pool (%d lines at %s):\n", len(c.Pool), PoolBase)
+	for i, pl := range c.Pool {
+		fmt.Fprintf(&b, "  line %d @%s: ptr->line %d data %v\n", i, poolLineBase(i), pl.Ptr, pl.Data)
+	}
+	for _, p := range c.Progs {
+		fmt.Fprintf(&b, "program %d (%s):\n", p.ID, p.Name)
+		for i, in := range p.Code {
+			fmt.Fprintf(&b, "  %2d: %s\n", i, in)
+		}
+	}
+	for core, invs := range c.Invs {
+		fmt.Fprintf(&b, "core %d (%d invocations):\n", core, len(invs))
+		for k, inv := range invs {
+			fmt.Fprintf(&b, "  #%d prog=%d think=%d regs=", k, c.Progs[inv.Prog].ID, inv.Think)
+			for _, ri := range inv.Regs {
+				fmt.Fprintf(&b, "%s=0x%x ", ri.Reg, ri.Val)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package fuzz
+
+import "repro/internal/isa"
+
+// Shrink greedily minimizes a failing case while preserving stillFailing.
+// The reductions keep every structural invariant of generated cases intact:
+// instruction replacement (nop-out, halt-truncation) never changes a
+// program's length, so branch targets stay valid, and invocation-list
+// truncation never orphans a referenced program. Shrinking is deterministic:
+// the same input case and predicate yield the same reproducer.
+//
+// The predicate runs a full simulation per candidate, so Shrink is
+// deliberately greedy-first (coarse structural cuts before per-instruction
+// surgery) to keep the candidate count small.
+func Shrink(c *Case, stillFailing func(*Case) bool) *Case {
+	cur := c.Clone()
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+
+		// 1. Drop whole cores (highest leverage first).
+		for cur.Cores() > 1 {
+			cand := cur.Clone()
+			cand.Invs = cand.Invs[:len(cand.Invs)-1]
+			if !stillFailing(cand) {
+				break
+			}
+			cur = cand
+			improved = true
+		}
+
+		// 2. Truncate each core's invocation list.
+		for core := range cur.Invs {
+			for len(cur.Invs[core]) > 0 {
+				cand := cur.Clone()
+				cand.Invs[core] = cand.Invs[core][:len(cand.Invs[core])-1]
+				if !stillFailing(cand) {
+					break
+				}
+				cur = cand
+				improved = true
+			}
+		}
+
+		// 3. Remove individual invocations from the front/middle.
+		for core := range cur.Invs {
+			for k := 0; k < len(cur.Invs[core]); {
+				cand := cur.Clone()
+				cand.Invs[core] = append(cand.Invs[core][:k], cand.Invs[core][k+1:]...)
+				if stillFailing(cand) {
+					cur = cand
+					improved = true
+				} else {
+					k++
+				}
+			}
+		}
+
+		// 4. Halt-truncate program suffixes: replacing instruction i with
+		// halt ends the AR there; code length (and thus every branch
+		// target's validity) is unchanged.
+		for pi := range cur.Progs {
+			for i := 0; i < len(cur.Progs[pi].Code)-1; i++ {
+				if cur.Progs[pi].Code[i].Op == isa.OpHalt {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Progs[pi].Code[i] = isa.Instr{Op: isa.OpHalt}
+				if stillFailing(cand) {
+					cur = cand
+					improved = true
+				}
+			}
+		}
+
+		// 5. Nop-out individual instructions.
+		for pi := range cur.Progs {
+			for i := 0; i < len(cur.Progs[pi].Code)-1; i++ {
+				op := cur.Progs[pi].Code[i].Op
+				if op == isa.OpNop || op == isa.OpHalt {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Progs[pi].Code[i] = isa.Instr{Op: isa.OpNop}
+				if stillFailing(cand) {
+					cur = cand
+					improved = true
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return cur
+}

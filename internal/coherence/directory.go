@@ -197,6 +197,11 @@ type Directory struct {
 	held        [][]lockRef
 	lockedLines int
 
+	// obs, when non-nil, is notified after every state transition (see
+	// Observer in observer.go). Nil by default: the hot path pays one
+	// pointer comparison.
+	obs Observer
+
 	Stats Stats
 }
 
@@ -285,6 +290,14 @@ func (d *Directory) roundTrip(core int, line mem.LineAddr) sim.Tick {
 // (or keeps ownership). Failed-mode reads do not register as sharers and
 // never abort remote holders.
 func (d *Directory) Read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
+	res := d.read(core, line, attrs)
+	if d.obs != nil {
+		d.obs.OnAccess(core, line, false, attrs, res)
+	}
+	return res
+}
+
+func (d *Directory) read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
 	d.Stats.Reads++
 	e := d.entryFor(line)
 	lat := d.roundTrip(core, line)
@@ -335,6 +348,14 @@ func (d *Directory) Read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResu
 // exclusive owner; all other sharers and any previous owner are invalidated
 // (which may abort their transactions, per the holder's policy).
 func (d *Directory) Write(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
+	res := d.write(core, line, attrs)
+	if d.obs != nil {
+		d.obs.OnAccess(core, line, true, attrs, res)
+	}
+	return res
+}
+
+func (d *Directory) write(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
 	d.Stats.Writes++
 	e := d.entryFor(line)
 	lat := d.roundTrip(core, line)
@@ -460,6 +481,14 @@ func (d *Directory) askHolder(holder int, line mem.LineAddr, isWrite bool, reque
 // power-mode transaction is using can be nacked — the caller converts that
 // into a retry as well.
 func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
+	res := d.lock(core, line, attrs)
+	if d.obs != nil {
+		d.obs.OnLock(core, line, res)
+	}
+	return res
+}
+
+func (d *Directory) lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
 	d.Stats.Locks++
 	e := d.entryFor(line)
 	if e.lockedBy >= 0 && e.lockedBy != core {
@@ -512,6 +541,9 @@ func (d *Directory) Unlock(core int, line mem.LineAddr) {
 	for i := range held {
 		if held[i].line == line {
 			d.held[core] = append(held[:i], held[i+1:]...)
+			if d.obs != nil {
+				d.obs.OnUnlock(core, line)
+			}
 			return
 		}
 	}
@@ -527,6 +559,9 @@ func (d *Directory) UnlockAll(core int) int {
 	n := len(held)
 	for i := range held {
 		held[i].e.lockedBy = -1
+		if d.obs != nil {
+			d.obs.OnUnlock(core, held[i].line)
+		}
 		held[i] = lockRef{} // drop the entry reference
 	}
 	d.held[core] = held[:0]
@@ -549,6 +584,9 @@ func (d *Directory) Evict(core int, line mem.LineAddr) {
 		e.owner = -1
 	}
 	e.sharers = e.sharers.Remove(core)
+	if d.obs != nil {
+		d.obs.OnEvict(core, line)
+	}
 }
 
 // LockedLines returns how many lines are currently cacheline-locked; tests

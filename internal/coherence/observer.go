@@ -1,0 +1,47 @@
+package coherence
+
+import "repro/internal/mem"
+
+// Observer receives a read-only notification after every directory state
+// transition. It exists for the runtime invariant oracle (internal/check):
+// the directory calls it *after* the transition has been applied, so the
+// observer sees the post-state, and it must not mutate directory state or
+// schedule simulation work that changes observable statistics.
+//
+// All calls are synchronous, inside the directory transaction. A nil
+// observer (the default) costs one pointer comparison per transaction.
+type Observer interface {
+	// OnAccess fires after a Read (isWrite=false) or Write/upgrade
+	// (isWrite=true) request from core for line completed with res.
+	OnAccess(core int, line mem.LineAddr, isWrite bool, attrs ReqAttrs, res AccessResult)
+	// OnLock fires after a Lock request from core for line completed with
+	// res. On success (res.Retry==false && res.Nacked==false) the core holds
+	// the cacheline lock.
+	OnLock(core int, line mem.LineAddr, res LockResult)
+	// OnUnlock fires after core released its lock on line (including each
+	// line released by UnlockAll).
+	OnUnlock(core int, line mem.LineAddr)
+	// OnEvict fires after core dropped line from its sharer/owner slots.
+	OnEvict(core int, line mem.LineAddr)
+}
+
+// SetObserver installs (or, with nil, removes) the directory observer.
+func (d *Directory) SetObserver(o Observer) { d.obs = o }
+
+// LineState is a snapshot of one directory entry, exported for auditing.
+type LineState struct {
+	Line     mem.LineAddr
+	Owner    int // core holding M/E, or -1
+	Sharers  CoreSet
+	LockedBy int // core holding the cacheline lock, or -1
+}
+
+// ForEachLine calls fn with a snapshot of every line the directory tracks.
+// Iteration order is unspecified (map order); callers that need determinism
+// must sort. Intended for the invariant oracle's full-state audits, not for
+// the simulation hot path.
+func (d *Directory) ForEachLine(fn func(LineState)) {
+	for line, e := range d.entries {
+		fn(LineState{Line: line, Owner: e.owner, Sharers: e.sharers, LockedBy: e.lockedBy})
+	}
+}

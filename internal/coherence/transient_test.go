@@ -1,0 +1,227 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestLockedLineRefusalMatrix is the table-driven contract for requests that
+// hit a line locked by another core: which requester attributes get a NACK
+// (abort), which get a Retry (re-issue later, directory unblocked — the
+// Fig. 6 fix), and which are parked when the deadlock-prone HoldOnLocked
+// design is enabled.
+func TestLockedLineRefusalMatrix(t *testing.T) {
+	cases := []struct {
+		name         string
+		holdOnLocked bool
+		isWrite      bool
+		attrs        ReqAttrs
+		wantNack     bool
+		wantLockNack bool
+		wantRetry    bool
+		wantHeld     int
+	}{
+		{name: "plain read retries", wantRetry: true},
+		{name: "plain write retries", isWrite: true, wantRetry: true},
+		{name: "nackable load is nacked", attrs: ReqAttrs{NackableLoad: true}, wantNack: true, wantLockNack: true},
+		{name: "nackable flag ignored on writes", isWrite: true, attrs: ReqAttrs{NackableLoad: true}, wantRetry: true},
+		{name: "power read is nacked", attrs: ReqAttrs{Power: true}, wantNack: true, wantLockNack: true},
+		{name: "power write is nacked", isWrite: true, attrs: ReqAttrs{Power: true}, wantNack: true, wantLockNack: true},
+		{name: "failed-mode read passes through", attrs: ReqAttrs{FailedMode: true}},
+		{name: "hold-on-locked parks reads", holdOnLocked: true, wantHeld: 1},
+		{name: "hold-on-locked parks writes", holdOnLocked: true, isWrite: true, wantHeld: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.NumCores = 4
+			cfg.HoldOnLocked = tc.holdOnLocked
+			d := NewDirectory(cfg)
+			if r := d.Lock(1, testLine, ReqAttrs{}); r.Retry || r.Nacked {
+				t.Fatal("initial lock refused")
+			}
+
+			var res AccessResult
+			if tc.isWrite {
+				res = d.Write(0, testLine, tc.attrs)
+			} else {
+				res = d.Read(0, testLine, tc.attrs)
+			}
+			if res.Nacked != tc.wantNack || res.LockNack != tc.wantLockNack || res.Retry != tc.wantRetry {
+				t.Fatalf("got {nack:%v lockNack:%v retry:%v}, want {nack:%v lockNack:%v retry:%v}",
+					res.Nacked, res.LockNack, res.Retry, tc.wantNack, tc.wantLockNack, tc.wantRetry)
+			}
+			if got := d.HeldCount(testLine); got != tc.wantHeld {
+				t.Fatalf("held requests = %d, want %d", got, tc.wantHeld)
+			}
+			if tc.wantRetry && res.Latency <= d.Config().Lat.Backoff {
+				t.Fatalf("retry latency %d does not include the backoff window", res.Latency)
+			}
+			// Whatever the refusal, the lock state must be untouched.
+			if d.LockedBy(testLine) != 1 || d.LockedLines() != 1 {
+				t.Fatalf("refusal disturbed the lock: lockedBy=%d lockedLines=%d",
+					d.LockedBy(testLine), d.LockedLines())
+			}
+		})
+	}
+}
+
+// TestHoldOnLockedAccumulatesWaiters: in the deadlock-prone design the
+// blocked entry queues every refused request (they are only replayed by the
+// requesting cores, never by the directory), which is exactly the transient
+// state that lets Fig. 6's three-core deadlock form.
+func TestHoldOnLockedAccumulatesWaiters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCores = 4
+	cfg.HoldOnLocked = true
+	d := NewDirectory(cfg)
+	d.Lock(3, testLine, ReqAttrs{})
+
+	for i, req := range []struct {
+		core    int
+		isWrite bool
+	}{{0, false}, {1, true}, {2, false}} {
+		var res AccessResult
+		if req.isWrite {
+			res = d.Write(req.core, testLine, ReqAttrs{})
+		} else {
+			res = d.Read(req.core, testLine, ReqAttrs{})
+		}
+		if res.Retry || res.Nacked {
+			t.Fatalf("request %d refused instead of parked: %+v", i, res)
+		}
+		if got := d.HeldCount(testLine); got != i+1 {
+			t.Fatalf("after request %d: %d parked, want %d", i, got, i+1)
+		}
+	}
+	// Unlocking does not replay the parked requests; the retry scheme is
+	// core-driven, so the queue simply persists until the cores re-issue.
+	d.Unlock(3, testLine)
+	if got := d.HeldCount(testLine); got != 3 {
+		t.Fatalf("unlock dropped parked requests: %d left, want 3", got)
+	}
+}
+
+// TestLockContentionRetryThenAcquire: a Lock on a line locked elsewhere is a
+// Retry (with backoff latency, directory unblocked); once the holder
+// releases, the same Lock succeeds and the per-core held-locks bookkeeping
+// follows.
+func TestLockContentionRetryThenAcquire(t *testing.T) {
+	d, _ := newTestDir(4)
+	d.Lock(1, testLine, ReqAttrs{})
+
+	res := d.Lock(2, testLine, ReqAttrs{})
+	if !res.Retry || res.Nacked {
+		t.Fatalf("lock on locked line: %+v, want retry", res)
+	}
+	if res.Latency <= d.Config().Lat.Backoff {
+		t.Fatalf("lock-retry latency %d does not include the backoff window", res.Latency)
+	}
+	if d.LockedBy(testLine) != 1 {
+		t.Fatal("failed lock disturbed the holder")
+	}
+
+	d.Unlock(1, testLine)
+	if res := d.Lock(2, testLine, ReqAttrs{}); res.Retry || res.Nacked {
+		t.Fatalf("lock after release refused: %+v", res)
+	}
+	if d.LockedBy(testLine) != 2 || d.LockedLines() != 1 {
+		t.Fatalf("lock transfer broken: lockedBy=%d lockedLines=%d", d.LockedBy(testLine), d.LockedLines())
+	}
+	if locks := d.HeldLocks(2); len(locks) != 1 || locks[0] != testLine {
+		t.Fatalf("held-locks list wrong: %v", locks)
+	}
+	if locks := d.HeldLocks(1); len(locks) != 0 {
+		t.Fatalf("previous holder still lists locks: %v", locks)
+	}
+}
+
+// TestLockNackedByPriorityHolder: acquiring a cacheline lock requires an
+// exclusive (Locking) invalidation; a prioritised holder (power mode)
+// refuses it, so the Lock comes back Nacked — the locking AR must abort
+// rather than spin (§5.2) — and the holder keeps the line.
+func TestLockNackedByPriorityHolder(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Write(1, testLine, ReqAttrs{}) // core 1 owns the line
+	hooks[1].response = HolderNacks  // and has priority
+
+	res := d.Lock(2, testLine, ReqAttrs{})
+	if !res.Nacked || res.Retry {
+		t.Fatalf("lock against priority holder: %+v, want nack", res)
+	}
+	if len(hooks[1].calls) != 1 || !hooks[1].calls[0].isWrite {
+		t.Fatalf("holder saw %+v, want one exclusive request", hooks[1].calls)
+	}
+	if d.Owner(testLine) != 1 || d.LockedBy(testLine) != -1 || d.LockedLines() != 0 {
+		t.Fatalf("nacked lock disturbed the line: owner=%d lockedBy=%d", d.Owner(testLine), d.LockedBy(testLine))
+	}
+	// The nack is transient: once the holder yields, the same lock succeeds.
+	hooks[1].response = HolderYields
+	if res := d.Lock(2, testLine, ReqAttrs{}); res.Nacked || res.Retry {
+		t.Fatalf("lock after holder yields refused: %+v", res)
+	}
+	if d.LockedBy(testLine) != 2 || d.Owner(testLine) != 2 {
+		t.Fatal("yielded lock did not transfer ownership to the locker")
+	}
+}
+
+// TestEvictionRacingLockedLine: an L1 replacement can target a line some
+// other core holds a cacheline lock on. A non-holder's eviction must leave
+// the lock (and the holder's exclusive ownership) intact; the holder itself
+// evicting its own locked line is a protocol violation and panics.
+func TestEvictionRacingLockedLine(t *testing.T) {
+	t.Run("non-holder evicts freely", func(t *testing.T) {
+		d, _ := newTestDir(4)
+		d.Read(2, testLine, ReqAttrs{}) // core 2 shares the line first
+		d.Lock(1, testLine, ReqAttrs{}) // core 1 locks it (invalidates core 2)
+		d.Evict(2, testLine)            // core 2's replacement races the lock
+		if d.LockedBy(testLine) != 1 || d.Owner(testLine) != 1 || d.LockedLines() != 1 {
+			t.Fatalf("eviction disturbed the lock: owner=%d lockedBy=%d", d.Owner(testLine), d.LockedBy(testLine))
+		}
+		if d.Sharers(testLine).Has(2) {
+			t.Fatal("evicted core still registered as sharer")
+		}
+	})
+	t.Run("holder eviction panics", func(t *testing.T) {
+		d, _ := newTestDir(4)
+		d.Lock(1, testLine, ReqAttrs{})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("evicting one's own locked line did not panic")
+			}
+		}()
+		d.Evict(1, testLine)
+	})
+	t.Run("unknown line is a no-op", func(t *testing.T) {
+		d, _ := newTestDir(4)
+		d.Evict(0, mem.LineAddr(0xdead00)) // never touched: must not panic
+	})
+}
+
+// TestPartialInvalidationKeepsNacker: a write upgrade that a subset of
+// sharers refuses ends in the documented transient state — yielded sharers
+// are gone, the refusing sharer and the requester keep their copies, and no
+// owner is installed (the upgrade failed).
+func TestPartialInvalidationKeepsNacker(t *testing.T) {
+	d, hooks := newTestDir(4)
+	d.Read(0, testLine, ReqAttrs{})
+	d.Read(1, testLine, ReqAttrs{})
+	d.Read(2, testLine, ReqAttrs{})
+	hooks[2].response = HolderNacks // core 2 has priority; core 1 yields
+
+	res := d.Write(0, testLine, ReqAttrs{})
+	if !res.Nacked {
+		t.Fatalf("upgrade against a refusing sharer: %+v, want nack", res)
+	}
+	sh := d.Sharers(testLine)
+	if sh.Has(1) {
+		t.Fatal("yielded sharer survived the partial invalidation")
+	}
+	if !sh.Has(2) || !sh.Has(0) {
+		t.Fatalf("sharers after partial invalidation = %v, want requester and nacker", sh)
+	}
+	if d.Owner(testLine) != -1 {
+		t.Fatalf("failed upgrade installed owner %d", d.Owner(testLine))
+	}
+}

@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"testing"
+
+	clear "repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// TestCapacityAbortFirstAttemptTakesFallbackDirectly: decision 0 of the §4.3
+// tree on the earliest possible edge — the very first attempt of the very
+// first invocation overflows the store queue. The machine must go straight
+// to the fallback path (exactly one abort, no second speculative try, no CL
+// attempt) and still commit the whole region.
+func TestCapacityAbortFirstAttemptTakesFallbackDirectly(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	cfg.SQEntries = 8
+	const width = 12 // stores > SQEntries
+	base := memory.Alloc(width*mem.LineSize, mem.LineSize)
+
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: wideProg(1, width),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(base)}},
+	}, 1, 1)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Aborts != 1 {
+		t.Fatalf("want exactly 1 abort (capacity, then straight to fallback), got %d", m.Stats.Aborts)
+	}
+	if got := m.Stats.AbortsByBucket[htm.BucketOthers]; got != 1 {
+		t.Fatalf("capacity abort not recorded in the others bucket: %d", got)
+	}
+	if m.Stats.Commits != 1 || m.Stats.CommitsByMode[stats.CommitFallback] != 1 {
+		t.Fatalf("want 1 fallback commit, got commits=%d byMode=%v", m.Stats.Commits, m.Stats.CommitsByMode)
+	}
+	if m.Stats.SCLAttempts+m.Stats.NSCLAttempts != 0 {
+		t.Fatal("capacity-aborted AR must not try a cacheline-locked mode")
+	}
+	if m.Fallback.WriterHeld() || !m.Fallback.Free() {
+		t.Fatal("fallback lock still held after the run")
+	}
+	for i := 0; i < width; i++ {
+		if got := memory.ReadWord(base + mem.Addr(i*mem.LineSize)); got != 1 {
+			t.Fatalf("line %d = %d, want 1", i, got)
+		}
+	}
+}
+
+// TestPowerTokenDenialFallsBackCleanly: PowerTM's power budget is one
+// transaction system-wide. Under heavy contention some retries must find the
+// token taken mid-retry (Denied > 0); a denied transaction keeps retrying as
+// an ordinary one, so every invocation still commits, no update is lost, and
+// the token is free once the machine drains.
+func TestPowerTokenDenialFallsBackCleanly(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	x := memory.AllocLine()
+	cfg := DefaultSystemConfig()
+	cfg.PowerTM = true
+
+	const cores, ops = 6, 30
+	m := buildMachine(t, cfg, memory, Invocation{
+		Prog: counterProg(1),
+		Regs: []RegInit{{Reg: isa.R0, Val: uint64(x)}},
+	}, cores, ops)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := memory.ReadWord(x); got != cores*ops {
+		t.Fatalf("counter = %d, want %d (lost update under power-token contention)", got, cores*ops)
+	}
+	if m.Power.Grants == 0 {
+		t.Fatal("no power-token grants under contention; the claim path never ran")
+	}
+	if m.Power.Denied == 0 {
+		t.Fatal("no power-token denials under contention; the exhaustion path never ran")
+	}
+	if m.Stats.PowerClaims != m.Power.Grants {
+		t.Fatalf("stats and token disagree on grants: %d vs %d", m.Stats.PowerClaims, m.Power.Grants)
+	}
+	if m.Power.Held() {
+		t.Fatalf("power token still held by core %d after the run", m.Power.Holder())
+	}
+}
+
+// TestExplicitAbortInNSCLRediscovers: an XAbort reached inside an NS-CL
+// re-execution is a non-memory-conflict abort in a locked mode (§4.4.2): the
+// ERT entry must be marked non-convertible so the AR never takes a CL path
+// again, and the next attempt must be a plain speculative retry (which
+// re-runs discovery), not another locked attempt.
+func TestExplicitAbortInNSCLRediscovers(t *testing.T) {
+	memory := mem.NewMemory(0x10000)
+	cfg := DefaultSystemConfig()
+	cfg.CLEAR = true
+	m := buildMachine(t, cfg, memory, Invocation{Prog: counterProg(1)}, 1, 1)
+
+	// Drive the core into a fabricated NS-CL attempt and abort it explicitly,
+	// exactly what doXAbort sees when the re-executed region runs the XAbort
+	// instruction while holding its learned lock set.
+	c := m.Cores[0]
+	c.inv = Invocation{Prog: counterProg(1)}
+	c.mode = ModeNSCL
+	c.ertEntry = &clear.ERTEntry{Valid: true, PC: 1, IsConvertible: true, IsImmutable: true}
+	c.doXAbort()
+
+	if c.ertEntry.IsConvertible {
+		t.Fatal("explicit abort inside NS-CL left the ERT entry convertible")
+	}
+	if c.retryMode != clear.RetrySpeculative {
+		t.Fatalf("next mode after NS-CL explicit abort = %v, want plain speculative rediscovery", c.retryMode)
+	}
+	if c.mode != ModeIdle {
+		t.Fatalf("core still in mode %v after abort", c.mode)
+	}
+	if m.Stats.Aborts != 1 || m.Stats.AbortsByBucket[htm.BucketOthers] == 0 {
+		t.Fatalf("explicit abort not recorded: aborts=%d buckets=%v", m.Stats.Aborts, m.Stats.AbortsByBucket)
+	}
+	if n := m.Dir.HeldLocks(c.id); len(n) != 0 {
+		t.Fatalf("aborted NS-CL attempt left %d directory locks held", len(n))
+	}
+}

@@ -94,6 +94,9 @@ func (c *Core) beginSpeculative() {
 	c.waitedOnLock = false
 	c.resetAttemptState()
 	c.mode = ModeSpeculative
+	if c.m.probe != nil {
+		c.m.probe.OnAttemptStart(c.id, ModeSpeculative, c.attempt, nil)
+	}
 	if c.m.trace != nil {
 		c.tracef("begin spec attempt=%d retries=%d prog=%s", c.attempt, c.conflictRetries, c.inv.Prog.Name)
 	}
@@ -245,6 +248,19 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 		c.conflictRetries++
 	}
 	c.decideRetryMode(reason)
+	if c.m.probe != nil {
+		c.m.probe.OnAttemptEnd(AttemptEndInfo{
+			Core:            c.id,
+			ProgID:          c.inv.Prog.ID,
+			Attempt:         c.attempt,
+			Mode:            c.mode,
+			Reason:          reason,
+			ConflictRetries: c.conflictRetries,
+			NextMode:        c.retryMode,
+			Assessed:        c.lastAssessed,
+			Assessment:      c.lastAssessment,
+		})
+	}
 	// Discovery observation ends with the attempt; the ALT it learned stays
 	// intact for the CL-mode lock walk but must not keep recording.
 	c.disc.Disable()
@@ -277,6 +293,8 @@ func (c *Core) retryBackoff() sim.Tick {
 // decideRetryMode applies the §4.3 decision tree (Figure 2) for the next
 // attempt, combining the discovery assessment with the abort context.
 func (c *Core) decideRetryMode(reason htm.AbortReason) {
+	c.lastAssessed = false
+	c.lastAssessment = clear.Assessment{}
 	if !c.m.Cfg.CLEAR {
 		c.retryMode = clear.RetrySpeculative
 		if reason == htm.AbortCapacity {
@@ -308,6 +326,8 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 
 	case ModeFailedDiscovery:
 		a := c.disc.Assess(c.m.Cfg.L1)
+		c.lastAssessed = true
+		c.lastAssessment = a
 		if c.ertEntry != nil {
 			if c.disc.SQOverflow || c.disc.CacheOverflow || c.disc.ALT.Overflowed {
 				// Assessment 1 failed: the AR does not fit the speculation
@@ -318,7 +338,15 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 		}
 		c.retryMode = a.Mode
 		if a.Mode == clear.RetrySCL || a.Mode == clear.RetryNSCL {
-			c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)
+			if c.m.Cfg.InjectSecondSpecRetry {
+				// Fault injection (tests only): ignore the convertible
+				// assessment and take a second plain speculative retry —
+				// the exact bug class the single-retry invariant exists to
+				// catch.
+				c.retryMode = clear.RetrySpeculative
+			} else {
+				c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)
+			}
 		}
 
 	case ModeSCL:
@@ -368,6 +396,16 @@ func (c *Core) effectiveCLMode(m clear.RetryMode) clear.RetryMode {
 // transaction. The drain latency only delays this core.
 func (c *Core) commitSpeculative() {
 	drain := c.m.Cfg.CommitStoreLat * sim.Tick(len(c.sq))
+	if c.m.probe != nil {
+		c.m.probe.OnCommit(CommitInfo{
+			Core:            c.id,
+			ProgID:          c.inv.Prog.ID,
+			Attempt:         c.attempt,
+			Mode:            c.mode,
+			ConflictRetries: c.conflictRetries,
+			StoreLines:      c.storeLinesForProbe(),
+		})
+	}
 	c.applySQ()
 	c.clearTxSets()
 	c.disc.Disable()

@@ -24,6 +24,9 @@ func (c *Core) beginCLAttempt() {
 		c.mode = ModeSCL
 		c.m.Stats.SCLAttempts++
 	}
+	if c.m.probe != nil {
+		c.m.probe.OnAttemptStart(c.id, c.mode, c.attempt, c.altLinesForProbe())
+	}
 	c.acquireFallbackReadLock()
 }
 
@@ -99,6 +102,16 @@ func (c *Core) commitCL() {
 	mode := stats.CommitNSCL
 	if c.mode == ModeSCL {
 		mode = stats.CommitSCL
+	}
+	if c.m.probe != nil {
+		c.m.probe.OnCommit(CommitInfo{
+			Core:            c.id,
+			ProgID:          c.inv.Prog.ID,
+			Attempt:         c.attempt,
+			Mode:            c.mode,
+			ConflictRetries: c.conflictRetries,
+			StoreLines:      c.storeLinesForProbe(),
+		})
 	}
 	c.applySQ()
 	c.clearTxSets()

@@ -87,6 +87,11 @@ type Core struct {
 	ertEntry        *clear.ERTEntry
 	heldReason      htm.AbortReason
 
+	// lastAssessed/lastAssessment capture the discovery assessment of the
+	// most recent decideRetryMode call, for the attempt probe (probe.go).
+	lastAssessed   bool
+	lastAssessment clear.Assessment
+
 	// Figure 1 instrumentation. The maps are allocated once per core and
 	// reused across invocations; the Has flags say whether the current
 	// invocation has filled them (a nil-map sentinel would force a fresh
@@ -209,6 +214,9 @@ func (c *Core) nextInvocation() {
 	c.fig1HasRetry = false
 	c.waitedOnLock = false
 	c.invStart = c.engine().Now() + inv.Think
+	if c.m.probe != nil {
+		c.m.probe.OnInvocationStart(c.id, inv.Prog.ID)
+	}
 	c.engine().Schedule(inv.Think, c.beginAttemptFn)
 }
 

@@ -20,6 +20,9 @@ func (c *Core) enterFallback() {
 		c.m.Power.Release(c.id)
 		c.power = false
 	}
+	if c.m.probe != nil {
+		c.m.probe.OnAttemptStart(c.id, ModeFallback, c.attempt, nil)
+	}
 	c.m.Fallback.AnnounceWriter(c.id)
 	c.tryAcquireFallbackWrite()
 }
@@ -40,6 +43,16 @@ func (c *Core) tryAcquireFallbackWrite() {
 // commitFallback finishes a fallback execution: stores already reached
 // memory, so only the lock release remains.
 func (c *Core) commitFallback() {
+	if c.m.probe != nil {
+		c.m.probe.OnCommit(CommitInfo{
+			Core:            c.id,
+			ProgID:          c.inv.Prog.ID,
+			Attempt:         c.attempt,
+			Mode:            ModeFallback,
+			ConflictRetries: c.conflictRetries,
+			// StoreLines nil: fallback stores write memory directly.
+		})
+	}
 	c.m.Fallback.ReleaseWrite(c.id)
 	c.m.Stats.Instructions += c.attemptInstr
 	c.m.Stats.RecordCommit(stats.CommitFallback, c.conflictRetries)

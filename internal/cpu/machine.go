@@ -94,6 +94,13 @@ type SystemConfig struct {
 	ALTEntries int
 	CRTEntries int
 	CRTWays    int
+	// InjectSecondSpecRetry deliberately breaks the §4.3 decision tree for
+	// fault-injection testing: after a convertible discovery assessment the
+	// core takes a *second* plain speculative retry instead of the CL mode
+	// the assessment chose. This violates the paper's single-retry bound and
+	// must be caught by the internal/check oracle; it exists to prove the
+	// oracle can detect exactly this class of bug. Never set outside tests.
+	InjectSecondSpecRetry bool
 }
 
 // DefaultSystemConfig mirrors Table 2 with CLEAR and PowerTM off
@@ -145,6 +152,11 @@ type Machine struct {
 
 	trace     *tracer
 	remaining int
+
+	// probe, when non-nil, observes attempt lifecycle events (see Probe in
+	// probe.go). Nil by default: notification sites pay one pointer
+	// comparison.
+	probe Probe
 }
 
 // NewMachine assembles a machine around an already-populated memory (the

@@ -37,6 +37,9 @@ func (c *Core) completeLoad(in isa.Instr, addr mem.Addr, indirection bool) {
 	}
 	c.setIndir(in.Dst, true)
 	line := addr.Line()
+	if c.m.probe != nil {
+		c.m.probe.OnMemAccess(c.id, line, false, c.mode)
+	}
 	c.disc.RecordAccess(line, c.m.Dir.SetOf(line), false, indirection)
 	if c.discoveryExhausted() {
 		c.abortNow(c.heldReason)
@@ -73,6 +76,9 @@ func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 		c.sqForward[addr] = val
 	}
 	line := addr.Line()
+	if c.m.probe != nil {
+		c.m.probe.OnMemAccess(c.id, line, true, c.mode)
+	}
 	c.disc.RecordAccess(line, c.m.Dir.SetOf(line), true, indirection)
 	if c.discoveryExhausted() {
 		c.abortNow(c.heldReason)

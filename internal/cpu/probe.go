@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	clear "repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// Probe receives read-only notifications at the control points of every
+// atomic-region invocation: attempt starts, aborts (with the retry-mode
+// decision that was taken), commits (with the lines the commit is about to
+// make globally visible), and completed memory operations.
+//
+// It exists for the runtime invariant oracle (internal/check). All calls are
+// synchronous, on the simulation's event path; a probe must not mutate
+// machine state, consult the RNG, or schedule events, or it would perturb
+// the run it is checking. A nil probe (the default) costs one pointer
+// comparison per notification site.
+type Probe interface {
+	// OnInvocationStart fires when a core dequeues a new invocation, before
+	// its first attempt is scheduled.
+	OnInvocationStart(core int, progID int)
+	// OnAttemptStart fires when an attempt actually begins executing:
+	// speculative (after the fallback-lock gate), CL (before the lock
+	// walk), or fallback (after the write lock is announced). footprint is
+	// the ALT snapshot a CL attempt will lock/execute against (nil
+	// otherwise); the slice is freshly allocated and may be retained.
+	OnAttemptStart(core int, mode Mode, attempt int, footprint []mem.LineAddr)
+	// OnAttemptEnd fires when an attempt aborts, after the retry-mode
+	// decision for the next attempt has been taken.
+	OnAttemptEnd(info AttemptEndInfo)
+	// OnCommit fires at the commit point of an attempt, before the store
+	// queue drains to memory and before CL locks are released — the oracle
+	// can still observe ownership/locks covering the committing stores.
+	OnCommit(info CommitInfo)
+	// OnMemAccess fires when a load or store completes (after its latency;
+	// the access is architecturally part of the attempt).
+	OnMemAccess(core int, line mem.LineAddr, isWrite bool, mode Mode)
+}
+
+// AttemptEndInfo describes one aborted attempt and the decision taken for
+// the next one.
+type AttemptEndInfo struct {
+	Core    int
+	ProgID  int
+	Attempt int
+	// Mode is the execution mode the attempt was in when it aborted.
+	Mode Mode
+	// Reason is the abort reason recorded in the statistics.
+	Reason htm.AbortReason
+	// ConflictRetries is the post-abort conflict-counted retry total.
+	ConflictRetries int
+	// NextMode is the §4.3 decision for the next attempt.
+	NextMode clear.RetryMode
+	// Assessed is true when this abort ran the discovery assessment
+	// (failed-mode discovery completed); Assessment is then valid.
+	Assessed   bool
+	Assessment clear.Assessment
+}
+
+// CommitInfo describes one committing attempt at its commit point.
+type CommitInfo struct {
+	Core    int
+	ProgID  int
+	Attempt int
+	// Mode is the execution mode that committed.
+	Mode Mode
+	// ConflictRetries is the invocation's conflict-counted retry total.
+	ConflictRetries int
+	// StoreLines lists the distinct cachelines of the buffered stores about
+	// to drain (commit order, first occurrence). Nil for fallback commits:
+	// fallback stores write memory directly. The slice is freshly allocated
+	// and may be retained.
+	StoreLines []mem.LineAddr
+}
+
+// SetProbe installs (or, with nil, removes) the machine's attempt probe.
+func (m *Machine) SetProbe(p Probe) { m.probe = p }
+
+// storeLinesForProbe collects the distinct lines of the core's buffered
+// stores, in first-store order. Only called when a probe is installed.
+func (c *Core) storeLinesForProbe() []mem.LineAddr {
+	if len(c.sq) == 0 {
+		return nil
+	}
+	lines := make([]mem.LineAddr, 0, len(c.sq))
+	for _, s := range c.sq {
+		line := s.addr.Line()
+		dup := false
+		for _, l := range lines {
+			if l == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+// altLinesForProbe snapshots the ALT footprint for a CL attempt start.
+func (c *Core) altLinesForProbe() []mem.LineAddr {
+	entries := c.disc.ALT.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	lines := make([]mem.LineAddr, len(entries))
+	for i, e := range entries {
+		lines[i] = e.Addr
+	}
+	return lines
+}

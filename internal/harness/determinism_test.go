@@ -46,6 +46,41 @@ func TestMachineDeterminism(t *testing.T) {
 	}
 }
 
+// TestOracleDigestTransparency asserts the internal/check invariant oracle
+// is a pure observer: the same (benchmark, configuration, seed) run with and
+// without the oracle attached must produce bit-identical statistics. The
+// oracle's audit events only consume engine sequence numbers and its probe
+// and observer callbacks are read-only, so any divergence here means the
+// oracle perturbed the run it was supposed to be checking. The oracle-enabled
+// run must also be invariant-clean (harness.Run returns its Err()).
+func TestOracleDigestTransparency(t *testing.T) {
+	for _, bench := range []string{"intruder", "hashmap", "labyrinth"} {
+		for _, cfg := range AllConfigs {
+			bench, cfg := bench, cfg
+			t.Run(bench+"/"+cfg.String(), func(t *testing.T) {
+				p := DefaultRunParams(bench, cfg)
+				p.Cores = 8
+				p.OpsPerThread = 32
+				p.Seed = 7
+
+				plain, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Oracle = true
+				checked, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d1, d2 := digestOf(plain), digestOf(checked)
+				if d1 != d2 {
+					t.Fatalf("oracle perturbed the run:\n off: %s\n on:  %s", d1, d2)
+				}
+			})
+		}
+	}
+}
+
 // TestMachineDeterminismSeedSensitivity guards the converse property: a
 // different seed must actually change the execution (otherwise the
 // determinism test above would pass vacuously on a simulator that ignores

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/mem"
@@ -85,6 +86,10 @@ type RunParams struct {
 	MaxTicks sim.Tick
 	// SLE selects in-core speculation instead of HTM (§4.1 vs §4.2).
 	SLE bool
+	// Oracle attaches the internal/check runtime invariant oracle to the
+	// run; a violation is returned as an error. Off by default (the oracle
+	// is digest-transparent but costs host time).
+	Oracle bool
 	// Mesh swaps the crossbar for a 2D mesh interconnect.
 	Mesh bool
 	// Ablations.
@@ -157,8 +162,18 @@ func Run(p RunParams) (*RunResult, error) {
 		feeds[tid] = bench.Source(tid, rng.Split(), p.OpsPerThread)
 	}
 	machine.AttachFeeds(feeds)
+	var oracle *check.Oracle
+	if p.Oracle {
+		oracle = check.Attach(machine)
+	}
 	if err := machine.Run(p.MaxTicks); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", p.Benchmark, p.Config, err)
+	}
+	if oracle != nil {
+		oracle.Finish()
+		if err := oracle.Err(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s seed %d: %w", p.Benchmark, p.Config, p.Seed, err)
+		}
 	}
 	if err := bench.Verify(memory); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s seed %d: verification failed: %w",
