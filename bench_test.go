@@ -281,6 +281,23 @@ func BenchmarkHarnessRunHot(b *testing.B) {
 	}
 }
 
+// BenchmarkHarnessRunHotTraced is the same run with the binary event
+// tracer attached (stream discarded): the delta against
+// BenchmarkHarnessRunHot prices the observability layer when it is ON; the
+// detached cost is a nil pointer compare per hook site, so
+// BenchmarkHarnessRunHot itself must stay allocation-identical to its
+// pre-tracer baseline.
+func BenchmarkHarnessRunHotTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := harness.DefaultRunParams("intruder", harness.ConfigC)
+		p.TraceWriter = io.Discard
+		if _, err := harness.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (host time per
 // simulated event) on a contended workload — the practical cost of using
 // this simulator as a research vehicle.

@@ -13,14 +13,17 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/prof"
+	"repro/internal/trace"
 )
 
 // stopProfiles finishes any active profiles; fatal calls it because os.Exit
@@ -40,6 +43,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write the matrix cells as CSV to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /debug/vars")
 	)
 	flag.Parse()
 
@@ -98,6 +102,21 @@ func main() {
 		opts.SCLLockAllReads = true
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", *ablation))
+	}
+
+	if *serve != "" {
+		live := trace.NewLive()
+		live.Publish() // expvar: /debug/vars
+		opts.Telemetry = live
+		mux := http.NewServeMux()
+		mux.Handle("/telemetry", live.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*serve, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "clearbench: telemetry server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "clearbench: live telemetry on http://%s/telemetry\n", *serve)
 	}
 
 	if *sweep {

@@ -4,32 +4,40 @@
 // modes (speculative, failed-mode discovery, S-CL, NS-CL, fallback) can be
 // watched instruction by instruction.
 //
+// The traced run records the structured binary event stream of
+// internal/trace and renders it through the text compatibility view; use
+// -trace-out to keep the binary stream for cleartrace.
+//
 // Usage:
 //
 //	clearinspect -bench sorted-list            # disassembly + analysis
 //	clearinspect -bench mwobject -trace -ops 5 # traced mini-run (config W)
+//	clearinspect -bench hashmap -trace -trace-out run.trace
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/isa"
-	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "", "benchmark to inspect (empty: list all)")
-		trace = flag.Bool("trace", false, "run a small traced simulation")
-		cores = flag.Int("cores", 4, "cores for -trace")
-		ops   = flag.Int("ops", 10, "ops per thread for -trace")
-		cfg   = flag.String("config", "W", "configuration for -trace (B, P, C, W)")
+		bench    = flag.String("bench", "", "benchmark to inspect (empty: list all)")
+		traced   = flag.Bool("trace", false, "run a small traced simulation")
+		cores    = flag.Int("cores", 4, "cores for -trace")
+		ops      = flag.Int("ops", 10, "ops per thread for -trace")
+		cfg      = flag.String("config", "W", "configuration for -trace (B, P, C, W or M)")
+		text     = flag.Bool("trace-text", true, "render the traced run as text (the classic view)")
+		traceOut = flag.String("trace-out", "", "also save the binary trace stream to this file")
+		traceMem = flag.Bool("trace-mem", true, "include per-memory-operation events in the trace")
 	)
 	flag.Parse()
 
@@ -41,10 +49,18 @@ func main() {
 		return
 	}
 
+	// Validate everything before producing any output, so a typo'd
+	// benchmark or configuration fails fast with a usage message instead
+	// of a partial report.
 	w, err := workload.New(*bench)
 	if err != nil {
-		fatal(err)
+		usageError(fmt.Sprintf("unknown benchmark %q (run clearinspect with no -bench to list)", *bench))
 	}
+	config, ok := parseConfig(*cfg)
+	if !ok {
+		usageError(fmt.Sprintf("unknown config %q (want B, P, C, W or M)", *cfg))
+	}
+
 	fmt.Printf("benchmark %s: %d atomic regions\n\n", w.Name(), len(w.ARs()))
 	for _, p := range w.ARs() {
 		a := isa.Analyze(p)
@@ -59,53 +75,73 @@ func main() {
 		fmt.Printf("\n   static loads=%d stores=%d branches=%d\n\n", a.Loads, a.Stores, a.Branches)
 	}
 
-	if !*trace {
+	if !*traced {
 		return
 	}
 
-	var config harness.ConfigID
-	switch *cfg {
-	case "B":
-		config = harness.ConfigB
-	case "P":
-		config = harness.ConfigP
-	case "C":
-		config = harness.ConfigC
-	case "W":
-		config = harness.ConfigW
-	default:
-		fatal(fmt.Errorf("unknown config %q", *cfg))
-	}
-
-	memory := mem.NewMemory(0x100000)
-	rng := sim.NewRNG(1)
-	if err := w.Setup(memory, rng, *cores); err != nil {
-		fatal(err)
-	}
 	p := harness.DefaultRunParams(*bench, config)
 	p.Cores = *cores
-	sys := p.SystemConfig()
-	sys.Cores = *cores
-	machine, err := cpu.NewMachine(sys, memory)
+	p.OpsPerThread = *ops
+	var buf bytes.Buffer
+	p.TraceWriter = &buf
+	p.TraceMem = *traceMem
+	p.TraceDir = false
+
+	fmt.Printf("--- traced run: %d cores x %d ops, config %s ---\n", *cores, *ops, config)
+	res, err := harness.Run(p)
 	if err != nil {
 		fatal(err)
 	}
-	machine.SetTrace(os.Stdout)
-	feeds := make([]cpu.InvocationSource, *cores)
-	for tid := 0; tid < *cores; tid++ {
-		feeds[tid] = w.Source(tid, rng.Split(), *ops)
+
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clearinspect: wrote %s (%d bytes)\n", *traceOut, buf.Len())
 	}
-	machine.AttachFeeds(feeds)
-	fmt.Printf("--- traced run: %d cores x %d ops, config %s ---\n", *cores, *ops, config)
-	if err := machine.Run(100_000_000); err != nil {
-		fatal(err)
+
+	if *text {
+		rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := rd.ReadAll()
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteText(os.Stdout, rd.Meta(), evs); err != nil {
+			fatal(err)
+		}
 	}
-	if err := w.Verify(memory); err != nil {
-		fatal(err)
-	}
-	s := machine.Stats
+
+	s := res.Stats
 	fmt.Printf("--- done: %d cycles, %d commits (spec %d, S-CL %d, NS-CL %d, fallback %d), %d aborts ---\n",
 		s.Cycles, s.Commits, s.CommitsByMode[0], s.CommitsByMode[1], s.CommitsByMode[2], s.CommitsByMode[3], s.Aborts)
+}
+
+// parseConfig resolves a configuration letter.
+func parseConfig(s string) (harness.ConfigID, bool) {
+	switch strings.ToUpper(s) {
+	case "B":
+		return harness.ConfigB, true
+	case "P":
+		return harness.ConfigP, true
+	case "C":
+		return harness.ConfigC, true
+	case "W":
+		return harness.ConfigW, true
+	case "M":
+		return harness.ConfigM, true
+	}
+	return 0, false
+}
+
+// usageError prints the message plus flag usage and exits with status 2
+// (flag's own usage-error convention).
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "clearinspect:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -23,21 +23,24 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "hashmap", "benchmark name (-list to enumerate)")
-		config  = flag.String("config", "B", "configuration: B, P, C, W or M (static locking)")
-		cores   = flag.Int("cores", 32, "simulated cores (= threads)")
-		ops     = flag.Int("ops", 120, "AR invocations per thread")
-		retries = flag.Int("retries", 4, "conflict-retries before fallback")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		sle     = flag.Bool("sle", false, "in-core speculation (SLE) instead of HTM")
-		meshNet = flag.Bool("mesh", false, "2D mesh interconnect instead of the crossbar")
-		altSize = flag.Int("alt", 0, "ALT entries (0 = paper's 32)")
-		ertSize = flag.Int("ert", 0, "ERT entries (0 = paper's 16)")
-		noDisc  = flag.Bool("no-discovery-continuation", false, "ablation: abort at first conflict instead of continuing discovery")
-		lockAll = flag.Bool("scl-lock-all", false, "ablation: S-CL locks the whole learned footprint")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		bench    = flag.String("bench", "hashmap", "benchmark name (-list to enumerate)")
+		config   = flag.String("config", "B", "configuration: B, P, C, W or M (static locking)")
+		cores    = flag.Int("cores", 32, "simulated cores (= threads)")
+		ops      = flag.Int("ops", 120, "AR invocations per thread")
+		retries  = flag.Int("retries", 4, "conflict-retries before fallback")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		sle      = flag.Bool("sle", false, "in-core speculation (SLE) instead of HTM")
+		meshNet  = flag.Bool("mesh", false, "2D mesh interconnect instead of the crossbar")
+		altSize  = flag.Int("alt", 0, "ALT entries (0 = paper's 32)")
+		ertSize  = flag.Int("ert", 0, "ERT entries (0 = paper's 16)")
+		noDisc   = flag.Bool("no-discovery-continuation", false, "ablation: abort at first conflict instead of continuing discovery")
+		lockAll  = flag.Bool("scl-lock-all", false, "ablation: S-CL locks the whole learned footprint")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace-out", "", "record the run's binary event trace to this file (inspect with cleartrace)")
+		traceMem = flag.Bool("trace-mem", false, "include per-memory-operation events in -trace-out")
+		traceDir = flag.Bool("trace-dir", false, "include directory transaction events in -trace-out")
 	)
 	flag.Parse()
 
@@ -85,11 +88,32 @@ func main() {
 	p.DisableDiscoveryContinuation = *noDisc
 	p.SCLLockAllReads = *lockAll
 
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clearsim:", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		p.TraceWriter = traceFile
+		p.TraceMem = *traceMem
+		p.TraceDir = *traceDir
+	}
+
 	res, err := harness.Run(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clearsim:", err)
 		stopProfiles()
 		os.Exit(1)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "clearsim:", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "clearsim: wrote trace %s\n", *traceOut)
 	}
 	printResult(res)
 }

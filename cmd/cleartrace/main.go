@@ -1,0 +1,77 @@
+// Command cleartrace records and inspects structured simulation traces
+// (the internal/trace binary event stream).
+//
+// Usage:
+//
+//	cleartrace record -bench hashmap -config C -o run.trace   # run + record
+//	cleartrace summary run.trace                              # headline counts
+//	cleartrace dump [-core N] [-ar name] [-kind k] [-from T] [-to T] run.trace
+//	cleartrace timeline run.trace                             # attempt spans
+//	cleartrace export -format perfetto -o run.json run.trace  # Perfetto JSON
+//	cleartrace export -format csv -o spans.csv run.trace      # span CSV
+//	cleartrace metrics -interval 10000 run.trace              # interval CSV
+//	cleartrace verify run.trace                               # schema checks
+//
+// Flags come before the trace-file argument (standard flag parsing).
+//
+// Filters compose: -core restricts to one core, -ar to one atomic region
+// (by name or id, with per-core attribution of lock/mem events), -reason to
+// one abort reason, -from/-to to a tick window, -kind to one event kind.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "record":
+		err = cmdRecord(args)
+	case "summary":
+		err = cmdSummary(args)
+	case "dump":
+		err = cmdDump(args)
+	case "timeline":
+		err = cmdTimeline(args)
+	case "export":
+		err = cmdExport(args)
+	case "metrics":
+		err = cmdMetrics(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cleartrace: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cleartrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cleartrace records and inspects simulation traces.
+
+commands:
+  record    run a simulation and write its binary trace
+  summary   print headline event/commit/abort counts of a trace
+  dump      print events as text (filterable)
+  timeline  print reconstructed per-core attempt spans
+  export    write Perfetto trace-event JSON or CSV
+  metrics   print interval activity samples as CSV
+  verify    validate a trace end to end (schema, timeline, exports)
+
+run 'cleartrace <command> -h' for the command's flags.
+`)
+}

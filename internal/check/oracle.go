@@ -351,10 +351,11 @@ func (o *Oracle) OnAttemptEnd(info cpu.AttemptEndInfo) {
 }
 
 // OnMemAccess checks NS-CL accesses stay inside the discovered footprint.
-func (o *Oracle) OnMemAccess(core int, line mem.LineAddr, isWrite bool, mode cpu.Mode) {
+func (o *Oracle) OnMemAccess(core int, addr mem.Addr, value uint64, isWrite bool, mode cpu.Mode) {
 	if mode != cpu.ModeNSCL {
 		return
 	}
+	line := addr.Line()
 	cs := &o.cores[core]
 	cs.touched[line] = true
 	if !cs.footprint[line] {
@@ -362,6 +363,10 @@ func (o *Oracle) OnMemAccess(core int, line mem.LineAddr, isWrite bool, mode cpu
 			"NS-CL re-execution completed an access to %s outside the discovered footprint", line)
 	}
 }
+
+// OnConflict is informational (the tracer's event); the oracle's conflict
+// reasoning happens at the directory post-states and attempt boundaries.
+func (o *Oracle) OnConflict(core int, line mem.LineAddr, isWrite bool, requester int) {}
 
 // OnCommit checks exclusivity of the committing stores and, for NS-CL, that
 // the re-execution touched exactly the discovered footprint; it also appends

@@ -25,8 +25,47 @@ type Observer interface {
 	OnEvict(core int, line mem.LineAddr)
 }
 
-// SetObserver installs (or, with nil, removes) the directory observer.
+// SetObserver installs (or, with nil, removes) the directory observer,
+// replacing whatever was attached before.
 func (d *Directory) SetObserver(o Observer) { d.obs = o }
+
+// AddObserver attaches o alongside any observer already installed:
+// notifications fan out to every attached observer in attachment order.
+// With no observer the hot path keeps paying only the nil comparison; a
+// solo observer is called directly with no tee indirection.
+func (d *Directory) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	if d.obs == nil {
+		d.obs = o
+		return
+	}
+	d.obs = &teeObserver{a: d.obs, b: o}
+}
+
+// teeObserver fans observer notifications out to two observers.
+type teeObserver struct{ a, b Observer }
+
+func (t *teeObserver) OnAccess(core int, line mem.LineAddr, isWrite bool, attrs ReqAttrs, res AccessResult) {
+	t.a.OnAccess(core, line, isWrite, attrs, res)
+	t.b.OnAccess(core, line, isWrite, attrs, res)
+}
+
+func (t *teeObserver) OnLock(core int, line mem.LineAddr, res LockResult) {
+	t.a.OnLock(core, line, res)
+	t.b.OnLock(core, line, res)
+}
+
+func (t *teeObserver) OnUnlock(core int, line mem.LineAddr) {
+	t.a.OnUnlock(core, line)
+	t.b.OnUnlock(core, line)
+}
+
+func (t *teeObserver) OnEvict(core int, line mem.LineAddr) {
+	t.a.OnEvict(core, line)
+	t.b.OnEvict(core, line)
+}
 
 // LineState is a snapshot of one directory entry, exported for auditing.
 type LineState struct {

@@ -84,6 +84,21 @@ func (c *Core) beginSpeculative() {
 		if !c.waitedOnLock {
 			c.waitedOnLock = true
 			c.m.Stats.RecordAbort(htm.AbortExplicitFallback)
+			if c.m.probe != nil {
+				// The attempt never started, so no OnAttemptStart pairs
+				// with this event; Mode stays idle and the §4.3 decision
+				// is unchanged (the same retry mode re-runs once the lock
+				// frees).
+				c.m.probe.OnAttemptEnd(AttemptEndInfo{
+					Core:            c.id,
+					ProgID:          c.inv.Prog.ID,
+					Attempt:         c.attempt,
+					Mode:            c.mode,
+					Reason:          htm.AbortExplicitFallback,
+					ConflictRetries: c.conflictRetries,
+					NextMode:        c.retryMode,
+				})
+			}
 		}
 		// Jittered polling so the herd does not stampede when the lock
 		// frees.
@@ -97,9 +112,6 @@ func (c *Core) beginSpeculative() {
 	if c.m.probe != nil {
 		c.m.probe.OnAttemptStart(c.id, ModeSpeculative, c.attempt, nil)
 	}
-	if c.m.trace != nil {
-		c.tracef("begin spec attempt=%d retries=%d prog=%s", c.attempt, c.conflictRetries, c.inv.Prog.Name)
-	}
 
 	// PowerTM: a transaction that has aborted at least once tries to claim
 	// the power token for its retry.
@@ -107,9 +119,6 @@ func (c *Core) beginSpeculative() {
 		if c.m.Power.TryClaim(c.id) {
 			c.power = true
 			c.m.Stats.PowerClaims++
-			if c.m.trace != nil {
-				c.tracef("power claimed")
-			}
 		}
 	}
 
@@ -220,9 +229,6 @@ func (c *Core) enterFailedMode(reason htm.AbortReason) {
 // abortNow finalises an aborted attempt: bookkeeping, cleanup, retry-mode
 // decision, and scheduling of the next attempt.
 func (c *Core) abortNow(reason htm.AbortReason) {
-	if c.m.trace != nil {
-		c.tracef("abort reason=%s pc=%d", reason, c.pc)
-	}
 	c.m.Stats.RecordAbort(reason)
 	c.m.Stats.RecordAbortAR(c.inv.Prog.ID, c.inv.Prog.Name)
 	c.m.Stats.AbortedInstructions += c.attemptInstr
@@ -255,6 +261,7 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 			Attempt:         c.attempt,
 			Mode:            c.mode,
 			Reason:          reason,
+			PC:              c.pc,
 			ConflictRetries: c.conflictRetries,
 			NextMode:        c.retryMode,
 			Assessed:        c.lastAssessed,
@@ -418,9 +425,6 @@ func (c *Core) commitSpeculative() {
 		c.ertEntry.NoteCommit()
 	}
 	c.m.Stats.Instructions += c.attemptInstr
-	if c.m.trace != nil {
-		c.tracef("commit spec retries=%d sq=%d", c.conflictRetries, 0)
-	}
 	c.m.Stats.RecordCommit(stats.CommitSpeculative, c.conflictRetries)
 	c.recordFig1Attempt(true)
 	c.engine().Schedule(drain, c.finishInvFn)

@@ -64,9 +64,6 @@ func (c *Core) lockWalk(i int) {
 		e.Hit = true
 	}
 	res := c.m.Dir.Lock(c.id, e.Addr, coherence.ReqAttrs{})
-	if c.m.trace != nil {
-		c.tracef("lock %s written=%v retry=%v", e.Addr, e.Written, res.Retry)
-	}
 	if res.Nacked {
 		// A prioritised holder (power transaction, remote S-CL speculative
 		// set) refused the lock: abort the CL attempt instead of spinning,

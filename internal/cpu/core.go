@@ -239,10 +239,8 @@ func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, a
 		return c.yieldLine(line, isWrite)
 	}
 
-	if c.m.trace != nil {
-
-		c.tracef("hook line=%s isWrite=%v req=%d conflict=%v", line, isWrite, requester, conflict)
-
+	if c.m.probe != nil {
+		c.m.probe.OnConflict(c.id, line, isWrite, requester)
 	}
 	switch c.mode {
 	case ModeSpeculative:

@@ -150,12 +150,12 @@ type Machine struct {
 	Stats    *stats.Run
 	Cores    []*Core
 
-	trace     *tracer
 	remaining int
 
 	// probe, when non-nil, observes attempt lifecycle events (see Probe in
 	// probe.go). Nil by default: notification sites pay one pointer
-	// comparison.
+	// comparison. Multiple observers (oracle, tracer, telemetry) attach via
+	// AddProbe, which tees them.
 	probe Probe
 }
 

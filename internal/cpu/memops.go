@@ -32,13 +32,10 @@ func (c *Core) readData(addr mem.Addr) uint64 {
 // update register and indirection state, record discovery info, advance.
 func (c *Core) completeLoad(in isa.Instr, addr mem.Addr, indirection bool) {
 	c.regs[in.Dst] = c.readData(addr)
-	if c.m.trace != nil {
-		c.tracef("load %s -> %d", addr, c.regs[in.Dst])
-	}
 	c.setIndir(in.Dst, true)
 	line := addr.Line()
 	if c.m.probe != nil {
-		c.m.probe.OnMemAccess(c.id, line, false, c.mode)
+		c.m.probe.OnMemAccess(c.id, addr, c.regs[in.Dst], false, c.mode)
 	}
 	c.disc.RecordAccess(line, c.m.Dir.SetOf(line), false, indirection)
 	if c.discoveryExhausted() {
@@ -62,9 +59,6 @@ func (c *Core) discoveryExhausted() bool {
 // advance.
 func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 	val := c.regs[in.Src2]
-	if c.m.trace != nil {
-		c.tracef("store %s = %d", addr, val)
-	}
 	if c.mode == ModeFallback {
 		c.m.Mem.WriteWord(addr, val)
 	} else {
@@ -77,7 +71,7 @@ func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 	}
 	line := addr.Line()
 	if c.m.probe != nil {
-		c.m.probe.OnMemAccess(c.id, line, true, c.mode)
+		c.m.probe.OnMemAccess(c.id, addr, val, true, c.mode)
 	}
 	c.disc.RecordAccess(line, c.m.Dir.SetOf(line), true, indirection)
 	if c.discoveryExhausted() {

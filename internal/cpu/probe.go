@@ -9,13 +9,15 @@ import (
 // Probe receives read-only notifications at the control points of every
 // atomic-region invocation: attempt starts, aborts (with the retry-mode
 // decision that was taken), commits (with the lines the commit is about to
-// make globally visible), and completed memory operations.
+// make globally visible), completed memory operations, and holder-side
+// conflict detections.
 //
-// It exists for the runtime invariant oracle (internal/check). All calls are
-// synchronous, on the simulation's event path; a probe must not mutate
-// machine state, consult the RNG, or schedule events, or it would perturb
-// the run it is checking. A nil probe (the default) costs one pointer
-// comparison per notification site.
+// It exists for the runtime invariant oracle (internal/check) and the
+// structured event tracer (internal/trace). All calls are synchronous, on
+// the simulation's event path; a probe must not mutate machine state,
+// consult the RNG, or schedule events, or it would perturb the run it is
+// observing. A nil probe (the default) costs one pointer comparison per
+// notification site; multiple probes fan out through AddProbe.
 type Probe interface {
 	// OnInvocationStart fires when a core dequeues a new invocation, before
 	// its first attempt is scheduled.
@@ -34,8 +36,13 @@ type Probe interface {
 	// can still observe ownership/locks covering the committing stores.
 	OnCommit(info CommitInfo)
 	// OnMemAccess fires when a load or store completes (after its latency;
-	// the access is architecturally part of the attempt).
-	OnMemAccess(core int, line mem.LineAddr, isWrite bool, mode Mode)
+	// the access is architecturally part of the attempt). value is the
+	// loaded (isWrite=false) or stored (isWrite=true) word.
+	OnMemAccess(core int, addr mem.Addr, value uint64, isWrite bool, mode Mode)
+	// OnConflict fires on the holder side when an incoming remote request
+	// conflicts with this core's transactional read/write set, before the
+	// mode-specific resolution policy (yield/nack/failed-mode) runs.
+	OnConflict(core int, line mem.LineAddr, isWrite bool, requester int)
 }
 
 // AttemptEndInfo describes one aborted attempt and the decision taken for
@@ -48,6 +55,9 @@ type AttemptEndInfo struct {
 	Mode Mode
 	// Reason is the abort reason recorded in the statistics.
 	Reason htm.AbortReason
+	// PC is the interpreter's program counter at the abort point (the
+	// instruction-level context the old text tracer printed).
+	PC int
 	// ConflictRetries is the post-abort conflict-counted retry total.
 	ConflictRetries int
 	// NextMode is the §4.3 decision for the next attempt.
@@ -74,8 +84,58 @@ type CommitInfo struct {
 	StoreLines []mem.LineAddr
 }
 
-// SetProbe installs (or, with nil, removes) the machine's attempt probe.
+// SetProbe installs (or, with nil, removes) the machine's attempt probe,
+// replacing whatever was attached before.
 func (m *Machine) SetProbe(p Probe) { m.probe = p }
+
+// AddProbe attaches p alongside any probe already installed: notifications
+// fan out to every attached probe in attachment order. Detached machines
+// keep paying only the single nil comparison; a solo probe is called
+// directly with no tee indirection.
+func (m *Machine) AddProbe(p Probe) {
+	if p == nil {
+		return
+	}
+	if m.probe == nil {
+		m.probe = p
+		return
+	}
+	m.probe = &teeProbe{a: m.probe, b: p}
+}
+
+// teeProbe fans probe notifications out to two probes (chains of AddProbe
+// calls build a right-leaning tree of tees).
+type teeProbe struct{ a, b Probe }
+
+func (t *teeProbe) OnInvocationStart(core int, progID int) {
+	t.a.OnInvocationStart(core, progID)
+	t.b.OnInvocationStart(core, progID)
+}
+
+func (t *teeProbe) OnAttemptStart(core int, mode Mode, attempt int, footprint []mem.LineAddr) {
+	t.a.OnAttemptStart(core, mode, attempt, footprint)
+	t.b.OnAttemptStart(core, mode, attempt, footprint)
+}
+
+func (t *teeProbe) OnAttemptEnd(info AttemptEndInfo) {
+	t.a.OnAttemptEnd(info)
+	t.b.OnAttemptEnd(info)
+}
+
+func (t *teeProbe) OnCommit(info CommitInfo) {
+	t.a.OnCommit(info)
+	t.b.OnCommit(info)
+}
+
+func (t *teeProbe) OnMemAccess(core int, addr mem.Addr, value uint64, isWrite bool, mode Mode) {
+	t.a.OnMemAccess(core, addr, value, isWrite, mode)
+	t.b.OnMemAccess(core, addr, value, isWrite, mode)
+}
+
+func (t *teeProbe) OnConflict(core int, line mem.LineAddr, isWrite bool, requester int) {
+	t.a.OnConflict(core, line, isWrite, requester)
+	t.b.OnConflict(core, line, isWrite, requester)
+}
 
 // storeLinesForProbe collects the distinct lines of the core's buffered
 // stores, in first-store order. Only called when a probe is installed.

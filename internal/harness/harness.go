@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/check"
 	"repro/internal/coherence"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -97,6 +99,18 @@ type RunParams struct {
 	SCLLockAllReads              bool
 	// Table sizing overrides (zero = paper values).
 	ERTEntries, ALTEntries, CRTEntries, CRTWays int
+	// TraceWriter, when non-nil, attaches the internal/trace binary event
+	// tracer and streams the run's event records into it. The tracer is
+	// digest-transparent: statistics are bit-identical with or without it.
+	TraceWriter io.Writer
+	// TraceMem / TraceDir enable the verbose per-memory-operation and
+	// per-directory-transaction event streams (off by default; AR, lock,
+	// and conflict events are always recorded when TraceWriter is set).
+	TraceMem bool
+	TraceDir bool
+	// Telemetry, when non-nil, attaches the lock-free live counter
+	// collector (safe to share across concurrent runs).
+	Telemetry *trace.Live
 }
 
 // DefaultRunParams returns laptop-scale defaults: the paper's 32 cores with
@@ -162,12 +176,40 @@ func Run(p RunParams) (*RunResult, error) {
 		feeds[tid] = bench.Source(tid, rng.Split(), p.OpsPerThread)
 	}
 	machine.AttachFeeds(feeds)
+	// Attachment order matters: the oracle claims the probe/observer slots
+	// with Set*, so it must attach first; the tracer and telemetry attach
+	// afterwards through the Add* tee seams.
 	var oracle *check.Oracle
 	if p.Oracle {
 		oracle = check.Attach(machine)
 	}
+	var tracer *trace.Tracer
+	if p.TraceWriter != nil {
+		tracer, err = trace.Attach(machine, p.TraceWriter, trace.Options{
+			Benchmark:   p.Benchmark,
+			Config:      p.Config.String(),
+			Cores:       p.Cores,
+			Seed:        p.Seed,
+			ARNames:     arNames(bench),
+			MemAccesses: p.TraceMem,
+			DirAccesses: p.TraceDir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: attach tracer: %w", err)
+		}
+	}
+	if p.Telemetry != nil {
+		machine.AddProbe(p.Telemetry)
+		p.Telemetry.RunStarted()
+		defer p.Telemetry.RunFinished()
+	}
 	if err := machine.Run(p.MaxTicks); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", p.Benchmark, p.Config, err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return nil, fmt.Errorf("harness: trace write: %w", err)
+		}
 	}
 	if oracle != nil {
 		oracle.Finish()
@@ -186,4 +228,13 @@ func Run(p RunParams) (*RunResult, error) {
 	}
 	res.Energy = stats.DefaultEnergyModel().Energy(machine.Stats, machine.Dir.Stats, p.Cores)
 	return res, nil
+}
+
+// arNames collects the AR id -> name map of a benchmark for trace headers.
+func arNames(bench workload.Benchmark) map[int]string {
+	names := make(map[int]string)
+	for _, prog := range bench.ARs() {
+		names[prog.ID] = prog.Name
+	}
+	return names
 }

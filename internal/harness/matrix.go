@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type MatrixOptions struct {
 	// Ablation switches, applied to every run.
 	DisableDiscoveryContinuation bool
 	SCLLockAllReads              bool
+	// Telemetry, when non-nil, is attached to every run of the sweep; its
+	// atomic counters make it safe to share across the parallel workers
+	// (the clearbench -serve live endpoint feeds from it).
+	Telemetry *trace.Live
 }
 
 // DefaultMatrixOptions is the full evaluation at laptop scale: all 19
@@ -156,6 +161,7 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggreg
 			MaxTicks:                     opts.MaxTicks,
 			DisableDiscoveryContinuation: opts.DisableDiscoveryContinuation,
 			SCLLockAllReads:              opts.SCLLockAllReads,
+			Telemetry:                    opts.Telemetry,
 		}
 		res, err := Run(p)
 		if err != nil {

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// traceParams is the shared small-run configuration of the trace tests.
+func traceParams(bench string, cfg ConfigID) RunParams {
+	p := DefaultRunParams(bench, cfg)
+	p.Cores = 8
+	p.OpsPerThread = 32
+	p.Seed = 7
+	return p
+}
+
+// TestTracerDigestTransparency asserts the tracer is a pure observer: the
+// same (benchmark, configuration, seed) run with and without the tracer
+// attached must produce bit-identical statistics — the mirror of
+// TestOracleDigestTransparency for the observability layer. The tracer
+// consults no RNG, schedules no events, and mutates nothing, so any
+// divergence here means tracing perturbed the run it was recording.
+func TestTracerDigestTransparency(t *testing.T) {
+	for _, bench := range []string{"intruder", "hashmap", "labyrinth"} {
+		for _, cfg := range AllConfigs {
+			bench, cfg := bench, cfg
+			t.Run(bench+"/"+cfg.String(), func(t *testing.T) {
+				p := traceParams(bench, cfg)
+				plain, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				p.TraceWriter = &buf
+				p.TraceMem = true
+				p.TraceDir = true
+				traced, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d1, d2 := digestOf(plain), digestOf(traced)
+				if d1 != d2 {
+					t.Fatalf("tracer perturbed the run:\n off: %s\n on:  %s", d1, d2)
+				}
+				if buf.Len() == 0 {
+					t.Fatal("tracer wrote nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestTraceDeterminism asserts the binary stream itself is deterministic:
+// the same (benchmark, configuration, seed) recorded twice must produce
+// byte-identical trace files. The encoding contains no host-side state
+// (no wall-clock timestamps, pointers, or map-ordered sections), so any
+// divergence means nondeterminism leaked into either the simulation or the
+// encoder.
+func TestTraceDeterminism(t *testing.T) {
+	for _, cfg := range []ConfigID{ConfigB, ConfigC, ConfigW} {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			record := func() []byte {
+				p := traceParams("sorted-list", cfg)
+				var buf bytes.Buffer
+				p.TraceWriter = &buf
+				p.TraceMem = true
+				p.TraceDir = true
+				if _, err := Run(p); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			a, b := record(), record()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed, different trace bytes (len %d vs %d)", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestTraceOracleCoexistence asserts the tracer and the invariant oracle
+// can share the probe/observer seams (the tee path): attaching both leaves
+// the statistics digest unchanged and both do their jobs.
+func TestTraceOracleCoexistence(t *testing.T) {
+	p := traceParams("hashmap", ConfigC)
+	plain, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p.Oracle = true
+	p.TraceWriter = &buf
+	p.Telemetry = trace.NewLive()
+	both, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := digestOf(plain), digestOf(both); d1 != d2 {
+		t.Fatalf("oracle+tracer+telemetry perturbed the run:\n off: %s\n on:  %s", d1, d2)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("tracer wrote nothing with oracle attached")
+	}
+	snap := p.Telemetry.Snapshot()
+	if snap.Commits == 0 || snap.RunsFinished != 1 {
+		t.Fatalf("telemetry did not observe the run: %+v", snap)
+	}
+}
+
+// TestTraceMatchesStats is the acceptance cross-check: the per-mode commit
+// counts reconstructed from the trace stream must exactly equal the
+// internal/stats aggregates of the same run, and the abort total must
+// match. This pins the event stream to the ground truth the paper's
+// figures are built from.
+func TestTraceMatchesStats(t *testing.T) {
+	for _, bench := range []string{"sorted-list", "intruder", "hashmap"} {
+		for _, cfg := range AllConfigs {
+			bench, cfg := bench, cfg
+			t.Run(bench+"/"+cfg.String(), func(t *testing.T) {
+				p := traceParams(bench, cfg)
+				var buf bytes.Buffer
+				p.TraceWriter = &buf
+				res, err := Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				evs, err := rd.ReadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tl := trace.BuildTimeline(rd.Meta(), evs)
+				got := tl.CommitsByMode()
+				var total int
+				for m := stats.CommitSpeculative; m < stats.NumCommitModes; m++ {
+					want := int(res.Stats.CommitsByMode[m])
+					if got[m] != want {
+						t.Errorf("commits[%s]: trace says %d, stats say %d", m, got[m], want)
+					}
+					total += got[m]
+				}
+				if total != int(res.Stats.Commits) {
+					t.Errorf("total commits: trace says %d, stats say %d", total, res.Stats.Commits)
+				}
+				// Abort events (including the no-attempt explicit-fallback
+				// episodes, which open no span) must equal the stats total.
+				var aborts int
+				for _, e := range evs {
+					if e.Kind == trace.KindAttemptEnd {
+						aborts++
+					}
+				}
+				if aborts != int(res.Stats.Aborts) {
+					t.Errorf("total aborts: trace says %d, stats say %d", aborts, res.Stats.Aborts)
+				}
+				// Invocation events must equal the commit total (every
+				// invocation commits exactly once).
+				var invokes int
+				for _, e := range evs {
+					if e.Kind == trace.KindInvocationStart {
+						invokes++
+					}
+				}
+				if invokes != int(res.Stats.Commits) {
+					t.Errorf("invocations: trace says %d, stats say %d commits", invokes, res.Stats.Commits)
+				}
+			})
+		}
+	}
+}

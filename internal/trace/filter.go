@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"repro/internal/htm"
+	"repro/internal/sim"
+)
+
+// Filter selects a subset of a trace stream. Zero-valued fields match
+// everything; set fields are ANDed together.
+type Filter struct {
+	// Core restricts to one core (-1 = all).
+	Core int
+	// ProgID restricts to one AR program id (-1 = all). AR-scoped filtering
+	// keeps per-core context: lock/unlock/dir/mem events are attributed to
+	// the AR the emitting core is currently executing.
+	ProgID int
+	// Reason restricts abort events to one reason (htm.AbortNone = all);
+	// non-abort events pass through unless KindsSet excludes them.
+	Reason htm.AbortReason
+	// From/To restrict to the half-open tick interval [From, To); To=0
+	// means unbounded.
+	From, To sim.Tick
+	// Kinds, when non-nil, restricts to the listed event kinds.
+	Kinds map[Kind]bool
+}
+
+// NewFilter returns a Filter that matches every event.
+func NewFilter() Filter {
+	return Filter{Core: -1, ProgID: -1, Reason: htm.AbortNone}
+}
+
+// filterState tracks per-core AR context while scanning a stream in order.
+type filterState struct {
+	prog []int32
+}
+
+func newFilterState(cores int) *filterState {
+	s := &filterState{prog: make([]int32, cores)}
+	for i := range s.prog {
+		s.prog[i] = -1
+	}
+	return s
+}
+
+// observe updates the per-core AR context from e; call it for every event
+// in stream order, before Match.
+func (s *filterState) observe(e Event) {
+	if int(e.Core) >= len(s.prog) {
+		return
+	}
+	switch e.Kind {
+	case KindInvocationStart:
+		s.prog[e.Core] = int32(e.ProgID())
+	case KindCommit:
+		// The commit event itself still belongs to the AR; clear after.
+	}
+}
+
+func (s *filterState) after(e Event) {
+	if int(e.Core) >= len(s.prog) {
+		return
+	}
+	if e.Kind == KindCommit {
+		s.prog[e.Core] = -1
+	}
+}
+
+func (s *filterState) progOf(e Event) int {
+	switch e.Kind {
+	case KindInvocationStart, KindAttemptStart, KindAttemptEnd, KindCommit:
+		return e.ProgID()
+	}
+	if int(e.Core) < len(s.prog) {
+		return int(s.prog[e.Core])
+	}
+	return -1
+}
+
+// match reports whether e passes f given the scan state s.
+func (f Filter) match(e Event, s *filterState) bool {
+	if f.Core >= 0 && int(e.Core) != f.Core {
+		return false
+	}
+	if f.From != 0 && e.Tick < f.From {
+		return false
+	}
+	if f.To != 0 && e.Tick >= f.To {
+		return false
+	}
+	if f.Kinds != nil && !f.Kinds[e.Kind] {
+		return false
+	}
+	if f.ProgID >= 0 && s.progOf(e) != f.ProgID {
+		return false
+	}
+	if f.Reason != htm.AbortNone && e.Kind == KindAttemptEnd && e.Reason() != f.Reason {
+		return false
+	}
+	return true
+}
+
+// FilterEvents returns the events of evs (in stream order) that pass f.
+// cores sizes the per-core AR-context tracking (use Meta.Cores).
+func FilterEvents(evs []Event, cores int, f Filter) []Event {
+	s := newFilterState(cores)
+	var out []Event
+	for _, e := range evs {
+		s.observe(e)
+		if f.match(e, s) {
+			out = append(out, e)
+		}
+		s.after(e)
+	}
+	return out
+}

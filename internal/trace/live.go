@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// Live is a lock-free telemetry collector for long runs: it implements
+// cpu.Probe with atomic counters only, so several machines (the parallel
+// cells of a clearbench matrix) can share one Live instance. It exposes a
+// JSON snapshot via an http.Handler and can publish itself to expvar for
+// the standard /debug/vars endpoint.
+//
+// Unlike the Tracer, Live keeps no per-event state and writes nothing; the
+// cost per hooked event is one atomic add.
+type Live struct {
+	invocations atomic.Uint64
+	attempts    atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	conflicts   atomic.Uint64
+	memOps      atomic.Uint64
+
+	commitsByMode [6]atomic.Uint64 // indexed by cpu.Mode
+	abortsByRsn   [16]atomic.Uint64
+
+	runsStarted  atomic.Uint64
+	runsFinished atomic.Uint64
+
+	publishOnce sync.Once
+}
+
+// NewLive returns an empty collector.
+func NewLive() *Live { return &Live{} }
+
+// RunStarted notes that one simulation run began using this collector.
+func (l *Live) RunStarted() { l.runsStarted.Add(1) }
+
+// RunFinished notes that one simulation run completed.
+func (l *Live) RunFinished() { l.runsFinished.Add(1) }
+
+// --- cpu.Probe ---
+
+func (l *Live) OnInvocationStart(core int, progID int) { l.invocations.Add(1) }
+
+func (l *Live) OnAttemptStart(core int, mode cpu.Mode, attempt int, footprint []mem.LineAddr) {
+	l.attempts.Add(1)
+}
+
+func (l *Live) OnAttemptEnd(info cpu.AttemptEndInfo) {
+	l.aborts.Add(1)
+	if r := int(info.Reason); r < len(l.abortsByRsn) {
+		l.abortsByRsn[r].Add(1)
+	}
+}
+
+func (l *Live) OnCommit(info cpu.CommitInfo) {
+	l.commits.Add(1)
+	if m := int(info.Mode); m < len(l.commitsByMode) {
+		l.commitsByMode[m].Add(1)
+	}
+}
+
+func (l *Live) OnMemAccess(core int, addr mem.Addr, value uint64, isWrite bool, mode cpu.Mode) {
+	l.memOps.Add(1)
+}
+
+func (l *Live) OnConflict(core int, line mem.LineAddr, isWrite bool, requester int) {
+	l.conflicts.Add(1)
+}
+
+var _ cpu.Probe = (*Live)(nil)
+
+// LiveSnapshot is one point-in-time view of the collector.
+type LiveSnapshot struct {
+	RunsStarted  uint64            `json:"runs_started"`
+	RunsFinished uint64            `json:"runs_finished"`
+	Invocations  uint64            `json:"invocations"`
+	Attempts     uint64            `json:"attempts"`
+	Commits      uint64            `json:"commits"`
+	Aborts       uint64            `json:"aborts"`
+	Conflicts    uint64            `json:"conflicts"`
+	MemOps       uint64            `json:"mem_ops"`
+	CommitsBy    map[string]uint64 `json:"commits_by_mode"`
+	AbortsBy     map[string]uint64 `json:"aborts_by_reason"`
+}
+
+// Snapshot returns a consistent-enough view of the counters (each counter
+// is read atomically; the set is not a single atomic snapshot).
+func (l *Live) Snapshot() LiveSnapshot {
+	s := LiveSnapshot{
+		RunsStarted:  l.runsStarted.Load(),
+		RunsFinished: l.runsFinished.Load(),
+		Invocations:  l.invocations.Load(),
+		Attempts:     l.attempts.Load(),
+		Commits:      l.commits.Load(),
+		Aborts:       l.aborts.Load(),
+		Conflicts:    l.conflicts.Load(),
+		MemOps:       l.memOps.Load(),
+		CommitsBy:    make(map[string]uint64),
+		AbortsBy:     make(map[string]uint64),
+	}
+	for m := range l.commitsByMode {
+		if v := l.commitsByMode[m].Load(); v != 0 {
+			s.CommitsBy[cpu.Mode(m).String()] = v
+		}
+	}
+	for r := range l.abortsByRsn {
+		if v := l.abortsByRsn[r].Load(); v != 0 {
+			s.AbortsBy[htm.AbortReason(r).String()] = v
+		}
+	}
+	return s
+}
+
+// Handler returns an http.Handler serving the JSON snapshot.
+func (l *Live) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(l.Snapshot())
+	})
+}
+
+// Publish registers the collector with expvar under "cleartrace" (idempotent;
+// expvar panics on duplicate names, hence the once).
+func (l *Live) Publish() {
+	l.publishOnce.Do(func() {
+		expvar.Publish("cleartrace", expvar.Func(func() any { return l.Snapshot() }))
+	})
+}

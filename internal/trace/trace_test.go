@@ -1,0 +1,454 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"repro/internal/coherence"
+	clear "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+func lockOK() coherence.LockResult    { return coherence.LockResult{} }
+func lockRetry() coherence.LockResult { return coherence.LockResult{Retry: true} }
+
+// newTestMachine builds a small idle machine to host a tracer (the tests
+// drive the probe/observer callbacks by hand).
+func newTestMachine(t testing.TB, cores int) *cpu.Machine {
+	t.Helper()
+	cfg := cpu.DefaultSystemConfig()
+	cfg.Cores = cores
+	m, err := cpu.NewMachine(cfg, mem.NewMemory(0x10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func attachTest(t testing.TB, m *cpu.Machine, w io.Writer, opts Options) *Tracer {
+	t.Helper()
+	tr, err := Attach(m, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestHeaderRoundTrip checks the header encodes and decodes losslessly.
+func TestHeaderRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 4)
+	var buf bytes.Buffer
+	opts := Options{
+		Benchmark:   "sorted-list",
+		Config:      "W",
+		Seed:        42,
+		ARNames:     map[int]string{1: "sorted-list/insert", 7: "sorted-list/count"},
+		MemAccesses: true,
+	}
+	tr := attachTest(t, m, &buf, opts)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := rd.Meta()
+	if meta.Benchmark != "sorted-list" || meta.Config != "W" || meta.Seed != 42 ||
+		meta.Cores != 4 || !meta.MemAccesses || meta.DirAccesses {
+		t.Fatalf("meta mismatch: %+v", meta)
+	}
+	if meta.ARNames[7] != "sorted-list/count" || meta.ARName(99) != "ar99" {
+		t.Fatalf("AR names mismatch: %+v", meta.ARNames)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF after header, got %v", err)
+	}
+}
+
+// TestEventRoundTrip drives every probe/observer callback once and checks
+// the decoded events against the packed-field accessors.
+func TestEventRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 4)
+	var buf bytes.Buffer
+	tr := attachTest(t, m, &buf, Options{
+		ARNames:     map[int]string{3: "ar-three"},
+		MemAccesses: true,
+		DirAccesses: true,
+	})
+
+	tr.OnInvocationStart(2, 3)
+	tr.OnAttemptStart(2, cpu.ModeSpeculative, 0, nil)
+	tr.OnMemAccess(2, mem.Addr(0x1008), 99, false, cpu.ModeSpeculative)
+	tr.OnMemAccess(2, mem.Addr(0x1010), 7, true, cpu.ModeSpeculative)
+	tr.OnConflict(2, mem.LineAddr(0x40), true, 1)
+	tr.OnAttemptEnd(cpu.AttemptEndInfo{
+		Core: 2, ProgID: 3, Attempt: 0,
+		Mode:            cpu.ModeFailedDiscovery,
+		Reason:          htm.AbortMemoryConflict,
+		PC:              14,
+		ConflictRetries: 1,
+		NextMode:        clear.RetrySCL,
+		Assessed:        true,
+		Assessment:      clear.Assessment{Convertible: true, Mode: clear.RetrySCL},
+	})
+	tr.OnAttemptStart(2, cpu.ModeSCL, 1, []mem.LineAddr{0x40, 0x41, 0x42})
+	tr.OnCommit(cpu.CommitInfo{
+		Core: 2, ProgID: 3, Attempt: 1, Mode: cpu.ModeSCL,
+		ConflictRetries: 1, StoreLines: []mem.LineAddr{0x40, 0x42},
+	})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("want 8 events, got %d", len(evs))
+	}
+	if evs[0].Kind != KindInvocationStart || evs[0].ProgID() != 3 || evs[0].Core != 2 {
+		t.Fatalf("invoke mismatch: %+v", evs[0])
+	}
+	if e := evs[1]; e.Kind != KindAttemptStart || e.Mode() != cpu.ModeSpeculative ||
+		e.Attempt() != 0 || e.Retries() != 0 || e.FootprintLen() != 0 {
+		t.Fatalf("attempt-start mismatch: %+v", e)
+	}
+	if e := evs[2]; e.Kind != KindMemAccess || e.IsWrite() || e.Value() != 99 ||
+		e.MemAddr() != 0x1008 || e.Line() != mem.Addr(0x1008).Line() {
+		t.Fatalf("load mismatch: %+v", e)
+	}
+	if e := evs[3]; !e.IsWrite() || e.Value() != 7 {
+		t.Fatalf("store mismatch: %+v", e)
+	}
+	if e := evs[4]; e.Kind != KindConflict || !e.IsWrite() || e.Requester() != 1 ||
+		e.Line() != 0x40 {
+		t.Fatalf("conflict mismatch: %+v", e)
+	}
+	if e := evs[5]; e.Kind != KindAttemptEnd || e.Reason() != htm.AbortMemoryConflict ||
+		e.Mode() != cpu.ModeFailedDiscovery || e.PC() != 14 || e.Retries() != 1 ||
+		e.NextMode() != clear.RetrySCL {
+		t.Fatalf("abort mismatch: %+v", e)
+	} else if ok, a := e.Assessed(); !ok || a != clear.RetrySCL {
+		t.Fatalf("assessment mismatch: ok=%v a=%v", ok, a)
+	}
+	if e := evs[6]; e.FootprintLen() != 3 || e.Retries() != 1 || e.Mode() != cpu.ModeSCL {
+		t.Fatalf("CL attempt-start mismatch: %+v", e)
+	}
+	if e := evs[7]; e.Kind != KindCommit || e.Mode() != cpu.ModeSCL ||
+		e.StoreLines() != 2 || e.Retries() != 1 {
+		t.Fatalf("commit mismatch: %+v", e)
+	}
+}
+
+// TestReaderRejectsGarbage checks corrupt inputs produce errors, not junk.
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	// Valid header followed by a corrupt record.
+	m := newTestMachine(t, 1)
+	var buf bytes.Buffer
+	tr := attachTest(t, m, &buf, Options{})
+	tr.OnInvocationStart(0, 1)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-recordSize+8] = 0xee // kind byte -> invalid
+	rd, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("want error for corrupt kind")
+	}
+	// Truncated record.
+	rd2, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd2.Next(); err == nil || err == io.EOF {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+}
+
+// makeSyntheticStream builds a small two-core stream with a lock wait.
+func makeSyntheticStream(t *testing.T) (Meta, []Event) {
+	t.Helper()
+	m := newTestMachine(t, 2)
+	var buf bytes.Buffer
+	tr := attachTest(t, m, &buf, Options{ARNames: map[int]string{1: "alpha", 2: "beta"}})
+	// Core 0 runs alpha and locks line 5; core 1 waits for it on beta.
+	tr.OnInvocationStart(0, 1)
+	tr.OnAttemptStart(0, cpu.ModeNSCL, 1, []mem.LineAddr{5})
+	tr.OnLock(0, 5, lockOK())
+	tr.OnInvocationStart(1, 2)
+	tr.OnAttemptStart(1, cpu.ModeNSCL, 1, []mem.LineAddr{5})
+	tr.OnLock(1, 5, lockRetry())
+	tr.OnLock(1, 5, lockRetry())
+	tr.OnCommit(cpu.CommitInfo{Core: 0, ProgID: 1, Attempt: 1, Mode: cpu.ModeNSCL})
+	tr.OnUnlock(0, 5)
+	tr.OnLock(1, 5, lockOK())
+	tr.OnCommit(cpu.CommitInfo{Core: 1, ProgID: 2, Attempt: 1, Mode: cpu.ModeNSCL})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd.Meta(), evs
+}
+
+// TestTimelineLockWaits checks the reconstructor attributes lock waits to
+// the holding core.
+func TestTimelineLockWaits(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	tl := BuildTimeline(meta, evs)
+	if len(tl.Spans) != 2 {
+		t.Fatalf("want 2 spans, got %d: %+v", len(tl.Spans), tl.Spans)
+	}
+	var beta *Span
+	for i := range tl.Spans {
+		if tl.Spans[i].ProgID == 2 {
+			beta = &tl.Spans[i]
+		}
+	}
+	if beta == nil || beta.Outcome != OutcomeCommit {
+		t.Fatalf("beta span missing/uncommitted: %+v", tl.Spans)
+	}
+	if len(beta.Waits) != 1 {
+		t.Fatalf("want 1 wait edge on beta, got %d", len(beta.Waits))
+	}
+	w := beta.Waits[0]
+	if w.Line != 5 || w.Holder != 0 || !w.Acquired {
+		t.Fatalf("wait edge mismatch: %+v", w)
+	}
+	per := tl.PerAR()
+	if len(per) != 2 || per[0].Name != "alpha" || per[1].Name != "beta" {
+		t.Fatalf("per-AR mismatch: %+v", per)
+	}
+	if per[1].LockWaitTicks == 0 && w.End > w.Start {
+		t.Fatalf("lock wait not aggregated: %+v", per[1])
+	}
+}
+
+// TestFilterEvents checks core/AR/kind/window filters, including per-core
+// AR attribution of non-AR events.
+func TestFilterEvents(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	f := NewFilter()
+	f.Core = 1
+	got := FilterEvents(evs, meta.Cores, f)
+	for _, e := range got {
+		if e.Core != 1 {
+			t.Fatalf("core filter leak: %+v", e)
+		}
+	}
+	// AR filter: the lock events of core 1 belong to beta.
+	f = NewFilter()
+	f.ProgID = 2
+	got = FilterEvents(evs, meta.Cores, f)
+	locks := 0
+	for _, e := range got {
+		if e.Core != 1 {
+			t.Fatalf("beta filter returned a core-0 event: %+v", e)
+		}
+		if e.Kind == KindLock {
+			locks++
+		}
+	}
+	if locks != 3 {
+		t.Fatalf("beta lock events: want 3, got %d", locks)
+	}
+	// Kind filter.
+	f = NewFilter()
+	f.Kinds = map[Kind]bool{KindCommit: true}
+	got = FilterEvents(evs, meta.Cores, f)
+	if len(got) != 2 {
+		t.Fatalf("commit filter: want 2, got %d", len(got))
+	}
+}
+
+// TestPerfettoSchema checks the exporter's JSON parses and carries the
+// required trace-event fields.
+func TestPerfettoSchema(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	tl := BuildTimeline(meta, evs)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tl, SampleIntervals(meta, evs, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	phases := map[string]int{}
+	for i, te := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := te[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, te)
+			}
+		}
+		phases[te["ph"].(string)]++
+	}
+	if phases["M"] < 3 || phases["X"] < 2 || phases["C"] == 0 {
+		t.Fatalf("unexpected phase mix: %v", phases)
+	}
+}
+
+// TestExportCSV checks both CSV exporters emit a header plus one row per
+// span/event.
+func TestExportCSV(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	tl := BuildTimeline(meta, evs)
+	var buf bytes.Buffer
+	if err := WriteSpanCSV(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 1+len(tl.Spans) {
+		t.Fatalf("span CSV lines: want %d, got %d", 1+len(tl.Spans), lines)
+	}
+	buf.Reset()
+	if err := WriteEventCSV(&buf, meta, evs); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 1+len(evs) {
+		t.Fatalf("event CSV lines: want %d, got %d", 1+len(evs), lines)
+	}
+}
+
+// TestWriteText renders the synthetic stream and spot-checks the classic
+// line format.
+func TestWriteText(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, meta, evs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"core  0", "core  1", "lock L0x5 ok", "lock L0x5 retry",
+		"begin ns-cl", "commit ns-cl", "invoke prog=alpha",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSampleIntervals checks counter aggregation across interval
+// boundaries.
+func TestSampleIntervals(t *testing.T) {
+	meta, evs := makeSyntheticStream(t)
+	samples := SampleIntervals(meta, evs, 1)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var commits, acquires, retries int
+	for _, s := range samples {
+		commits += s.Commits
+		acquires += s.LockAcquires
+		retries += s.LockRetries
+	}
+	if commits != 2 || acquires != 2 || retries != 2 {
+		t.Fatalf("sample totals mismatch: commits=%d acquires=%d retries=%d", commits, acquires, retries)
+	}
+	var buf bytes.Buffer
+	if err := WriteIntervalCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 1+len(samples) {
+		t.Fatalf("interval CSV lines: want %d, got %d", 1+len(samples), lines)
+	}
+}
+
+// TestKindStringRoundTrip checks KindFromString inverts String for every
+// kind.
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(1); k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("round trip failed for %v", k)
+		}
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Fatal("bogus kind resolved")
+	}
+}
+
+// TestTracerEmitAllocs pins the tracer's hot-path allocation contract:
+// steady-state emission into the preallocated batch buffer (flushing to a
+// non-allocating writer) performs zero heap allocations per event — the
+// only allocation cost of tracing is amortised to at most one per flushed
+// batch inside the destination writer.
+func TestTracerEmitAllocs(t *testing.T) {
+	m := newTestMachine(t, 2)
+	tr := attachTest(t, m, io.Discard, Options{MemAccesses: true, DirAccesses: true})
+	info := cpu.CommitInfo{Core: 0, ProgID: 1, Attempt: 0, Mode: cpu.ModeSpeculative}
+	per := testing.AllocsPerRun(5000, func() {
+		tr.OnLock(0, 5, lockOK())
+		tr.OnUnlock(0, 5)
+		tr.OnMemAccess(0, 0x40, 1, true, cpu.ModeSpeculative)
+		tr.OnCommit(info)
+	})
+	if per > 0 {
+		t.Fatalf("tracer emit allocates %.2f objects per 4-event group; want 0", per)
+	}
+}
+
+// BenchmarkTracerEmit measures the per-event cost of the binary encoder
+// (the overhead every traced hook site pays).
+func BenchmarkTracerEmit(b *testing.B) {
+	m := newTestMachine(b, 2)
+	tr, err := Attach(m, io.Discard, Options{MemAccesses: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.OnMemAccess(0, mem.Addr(i), uint64(i), i&1 == 0, cpu.ModeSpeculative)
+	}
+}
+
+// TestLivable checks the live collector counts and snapshots.
+func TestLiveCounters(t *testing.T) {
+	l := NewLive()
+	l.RunStarted()
+	l.OnInvocationStart(0, 1)
+	l.OnAttemptStart(0, cpu.ModeSpeculative, 0, nil)
+	l.OnAttemptEnd(cpu.AttemptEndInfo{Core: 0, Reason: htm.AbortMemoryConflict})
+	l.OnAttemptStart(0, cpu.ModeSCL, 1, nil)
+	l.OnCommit(cpu.CommitInfo{Core: 0, Mode: cpu.ModeSCL})
+	l.OnConflict(0, 5, true, 1)
+	l.OnMemAccess(0, 0x40, 1, false, cpu.ModeSpeculative)
+	l.RunFinished()
+	s := l.Snapshot()
+	if s.Invocations != 1 || s.Attempts != 2 || s.Commits != 1 || s.Aborts != 1 ||
+		s.Conflicts != 1 || s.MemOps != 1 || s.RunsFinished != 1 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if s.CommitsBy["S-CL"] != 1 || s.AbortsBy["memory-conflict"] != 1 {
+		t.Fatalf("breakdown mismatch: %+v", s)
+	}
+}

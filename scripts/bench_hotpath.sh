@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # bench_hotpath.sh — measure the simulation hot path and write BENCH_hotpath.json.
 #
-# Runs the three hot-path micro/macro benchmarks:
+# Runs the hot-path micro/macro benchmarks:
 #   BenchmarkEngineScheduleStep      (internal/sim)     event schedule+dispatch
 #   BenchmarkDirectoryLockUnlockAll  (internal/coherence) CL lock walk + bulk unlock
 #   BenchmarkHarnessRunHot           (root)             full intruder/ConfigC run
+#   BenchmarkHarnessRunHotTraced     (root)             same run, tracer attached
+#   BenchmarkTracerEmit              (internal/trace)   single-event emit cost
 #
 # and emits BENCH_hotpath.json in the repo root with the fresh numbers next to
 # the recorded pre-optimisation baseline (the container/heap engine, per-op
 # closures, and O(directory) UnlockAll — measured on the same host class
 # before the rewrite; see DESIGN.md "Host performance").
+#
+# The tracing layer's overhead contract (DESIGN.md "Observability") is
+# enforced here: with the tracer detached, HarnessRunHot must stay within the
+# allocation budget below, and the tracer's per-event emit must be
+# allocation-free.
 #
 # Usage: scripts/bench_hotpath.sh [output.json]
 set -euo pipefail
@@ -25,6 +32,10 @@ echo "bench_hotpath: directory ..." >&2
 go test -run xxx -bench 'BenchmarkDirectoryLockUnlockAll' -benchmem ./internal/coherence/ >"$tmp/dir.txt"
 echo "bench_hotpath: harness (intruder/C, 32 cores) ..." >&2
 go test -run xxx -bench 'BenchmarkHarnessRunHot$' -benchtime 5x -benchmem . >"$tmp/harness.txt"
+echo "bench_hotpath: harness traced ..." >&2
+go test -run xxx -bench 'BenchmarkHarnessRunHotTraced$' -benchtime 5x -benchmem . >"$tmp/traced.txt"
+echo "bench_hotpath: tracer emit ..." >&2
+go test -run xxx -bench 'BenchmarkTracerEmit$' -benchmem ./internal/trace/ >"$tmp/emit.txt"
 
 # extract <file> <benchmark-regex> -> "ns_per_op allocs_per_op bytes_per_op"
 extract() {
@@ -36,6 +47,23 @@ read -r dir256_ns _ _ < <(extract "$tmp/dir.txt" 'lines256')
 read -r dir4096_ns _ _ < <(extract "$tmp/dir.txt" 'lines4096')
 read -r dir65536_ns _ _ < <(extract "$tmp/dir.txt" 'lines65536')
 read -r run_ns run_allocs run_bytes < <(extract "$tmp/harness.txt" '^BenchmarkHarnessRunHot')
+read -r traced_ns traced_allocs traced_bytes < <(extract "$tmp/traced.txt" '^BenchmarkHarnessRunHotTraced')
+read -r emit_ns emit_allocs emit_bytes < <(extract "$tmp/emit.txt" '^BenchmarkTracerEmit')
+
+# Tracing overhead contract. The detached-run allocation budget is the
+# measured 24k-allocation steady state plus slack for host/runtime noise —
+# a regression that reintroduces per-event or per-op allocation blows
+# through it by orders of magnitude. The emit path must be allocation-free.
+alloc_budget=25000
+if [ "$run_allocs" -gt "$alloc_budget" ]; then
+  echo "bench_hotpath: FAIL: HarnessRunHot allocs/op $run_allocs exceeds budget $alloc_budget (tracer detached)" >&2
+  exit 1
+fi
+if [ "$emit_allocs" -ne 0 ]; then
+  echo "bench_hotpath: FAIL: TracerEmit allocs/op $emit_allocs != 0 (emit path must not allocate)" >&2
+  exit 1
+fi
+echo "bench_hotpath: alloc budget ok (detached $run_allocs <= $alloc_budget, emit $emit_allocs)" >&2
 
 speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
@@ -61,6 +89,15 @@ cat >"$out" <<EOF
       "after":  { "ns_per_op": $run_ns, "allocs_per_op": $run_allocs, "bytes_per_op": $run_bytes },
       "speedup": $(speedup 101596584 "$run_ns"),
       "alloc_reduction": $(speedup 824059 "$run_allocs")
+    },
+    "HarnessRunHotTraced": {
+      "config": "intruder/ConfigC, 32 cores, 120 ops/thread, tracer -> io.Discard",
+      "after": { "ns_per_op": $traced_ns, "allocs_per_op": $traced_allocs, "bytes_per_op": $traced_bytes },
+      "overhead_vs_detached": $(speedup "$traced_ns" "$run_ns")
+    },
+    "TracerEmit": {
+      "after": { "ns_per_op": $emit_ns, "allocs_per_op": $emit_allocs, "bytes_per_op": $emit_bytes },
+      "note": "per-event encode+append; must be 0 allocs/op"
     }
   }
 }
