@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -44,6 +47,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /debug/vars")
+		deadline = flag.Duration("run-deadline", 0, "host wall-time deadline per individual run; an exceeding run becomes an isolated failure instead of hanging the sweep (0 = none)")
 	)
 	flag.Parse()
 
@@ -104,6 +108,9 @@ func main() {
 		fatal(fmt.Errorf("unknown ablation %q", *ablation))
 	}
 
+	opts.RunDeadline = *deadline
+
+	var srv *http.Server
 	if *serve != "" {
 		live := trace.NewLive()
 		live.Publish() // expvar: /debug/vars
@@ -111,8 +118,16 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/telemetry", live.Handler())
 		mux.Handle("/debug/vars", expvar.Handler())
+		srv = &http.Server{
+			Addr:              *serve,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			if err := http.ListenAndServe(*serve, mux); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "clearbench: telemetry server:", err)
 			}
 		}()
@@ -128,6 +143,31 @@ func main() {
 		return
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM stops dispatching new
+	// matrix cells (runs in flight finish) and the partial matrix is still
+	// reported; a second signal kills the process through the default
+	// handler.
+	cancel := make(chan struct{})
+	opts.Cancel = cancel
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nclearbench: %s — finishing runs in flight, reporting the partial matrix (send again to kill)\n", sig)
+		signal.Stop(sigCh)
+		close(cancel)
+	}()
+	shutdown := func() {
+		signal.Stop(sigCh)
+		if srv != nil {
+			ctx, done := context.WithTimeout(context.Background(), 3*time.Second)
+			defer done()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "clearbench: telemetry shutdown:", err)
+			}
+		}
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "clearbench: running matrix: %d benchmarks x %d configs x %d retry limits x %d seeds (%d cores, %d ops/thread)\n",
 		len(opts.Benchmarks), len(opts.Configs), len(opts.RetryLimits), len(opts.Seeds), opts.Cores, opts.OpsPerThread)
@@ -135,7 +175,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	shutdown()
+	interrupted := false
+	select {
+	case <-cancel:
+		interrupted = true
+	default:
+	}
 	fmt.Fprintf(os.Stderr, "clearbench: matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if len(m.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "clearbench: %d run(s) failed in isolation (cells aggregate the surviving seeds):\n", len(m.Failures))
+		for _, fl := range m.Failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", fl.String())
+		}
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -149,6 +203,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", *csvPath)
+		if len(m.Failures) > 0 {
+			failPath := *csvPath + ".failures.csv"
+			ff, err := os.Create(failPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.WriteFailuresCSV(ff); err != nil {
+				fatal(err)
+			}
+			if err := ff.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", failPath)
+		}
 	}
 
 	printers := map[int]func(){
@@ -162,16 +230,24 @@ func main() {
 	}
 	if *fig != 0 {
 		printers[*fig]()
-		return
-	}
-	if err := harness.PrintTable1(os.Stdout); err != nil {
-		fatal(err)
-	}
-	fmt.Println()
-	harness.PrintTable2(os.Stdout, opts.Cores)
-	for _, f := range []int{1, 8, 9, 10, 11, 12, 13} {
+	} else {
+		if err := harness.PrintTable1(os.Stdout); err != nil {
+			fatal(err)
+		}
 		fmt.Println()
-		printers[f]()
+		harness.PrintTable2(os.Stdout, opts.Cores)
+		for _, f := range []int{1, 8, 9, 10, 11, 12, 13} {
+			fmt.Println()
+			printers[f]()
+		}
+	}
+	if interrupted {
+		stopProfiles()
+		os.Exit(130)
+	}
+	if len(m.Failures) > 0 {
+		stopProfiles()
+		os.Exit(1)
 	}
 }
 

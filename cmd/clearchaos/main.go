@@ -1,0 +1,310 @@
+// Command clearchaos runs randomized fault-injection campaigns against the
+// simulator: every run perturbs one (benchmark, configuration) pair with a
+// seed-deterministic fault plan — NACK storms, directory stalls, power-token
+// denial windows, spurious aborts, lock-holder preemption — while the
+// invariant oracle and the forward-progress watchdog verify that faults only
+// ever delay or refuse, never corrupt, and that CLEAR's single-retry bound
+// holds under every perturbation. A failing run shrinks its plan to the
+// minimal set of fault kinds (and the gentlest rates) that still reproduce
+// the failure, then prints the exact flags that replay it.
+//
+// Usage:
+//
+//	clearchaos -runs 200 -seed 1             # campaign, "default" plan
+//	clearchaos -plan storm -configs CW       # NACK storms on CLEAR configs
+//	clearchaos -faults nack,dir-stall        # restrict the plan to two kinds
+//	clearchaos -plan planted -expect-catch   # prove the watchdog catches a
+//	                                         # planted second-spec-retry fault
+//	clearchaos -list-plans                   # show the named presets
+//
+// Exit status is 0 iff every run survived with zero oracle violations and
+// zero watchdog detections (with -expect-catch: iff a planted fault was
+// caught and shrunk).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// campaignBenches is the default benchmark rotation: small, contended
+// structures that exercise speculation, conversion, and the fallback path.
+var campaignBenches = []string{"hashmap", "bst", "queue", "intruder"}
+
+func main() {
+	var (
+		runs      = flag.Int("runs", 64, "number of campaign runs")
+		seed      = flag.Uint64("seed", 1, "base seed (run i uses seed+i for both workload and faults)")
+		planName  = flag.String("plan", "default", "fault-plan preset (see -list-plans)")
+		faults    = flag.String("faults", "", "comma-separated fault kinds to keep from the plan (empty = all)")
+		configs   = flag.String("configs", "BPCW", "configurations to rotate through (subset of BPCW)")
+		bench     = flag.String("bench", "", "single benchmark to run (empty = rotate "+strings.Join(campaignBenches, ",")+")")
+		cores     = flag.Int("cores", 8, "simulated cores per run")
+		ops       = flag.Int("ops", 24, "operations per thread per run")
+		retry     = flag.Int("retry", 4, "retry limit")
+		deadline  = flag.Duration("deadline", 30*time.Second, "host wall-time deadline per run (0 = none)")
+		doShrink  = flag.Bool("shrink", true, "shrink a failing run's fault plan to a minimal reproducer")
+		expect    = flag.Bool("expect-catch", false, "invert: exit 0 iff at least one run fails and is caught (planted-fault proof)")
+		verbose   = flag.Bool("v", false, "print every run result, not just failures")
+		listPlans = flag.Bool("list-plans", false, "list the named fault-plan presets and exit")
+	)
+	flag.Parse()
+
+	if *listPlans {
+		for _, name := range fault.Presets() {
+			p, _ := fault.PresetPlan(name)
+			fmt.Printf("%-10s %s\n", name, p)
+		}
+		return
+	}
+
+	base, err := fault.PresetPlan(*planName)
+	if err != nil {
+		fatal(err)
+	}
+	if *faults != "" {
+		keep := make(map[fault.Kind]bool)
+		for _, name := range strings.Split(*faults, ",") {
+			k, ok := fault.KindFromString(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("clearchaos: unknown fault kind %q", name))
+			}
+			keep[k] = true
+		}
+		base = base.Restrict(keep)
+	}
+	if err := base.Validate(); err != nil {
+		fatal(err)
+	}
+	cfgs, err := parseConfigs(*configs)
+	if err != nil {
+		fatal(err)
+	}
+	benches := campaignBenches
+	if *bench != "" {
+		benches = []string{*bench}
+	}
+
+	os.Exit(campaign(campaignOpts{
+		runs:     *runs,
+		seed:     *seed,
+		plan:     base,
+		planName: *planName,
+		cfgs:     cfgs,
+		benches:  benches,
+		cores:    *cores,
+		ops:      *ops,
+		retry:    *retry,
+		deadline: *deadline,
+		shrink:   *doShrink,
+		expect:   *expect,
+		verbose:  *verbose,
+	}))
+}
+
+type campaignOpts struct {
+	runs     int
+	seed     uint64
+	plan     *fault.Plan
+	planName string
+	cfgs     []harness.ConfigID
+	benches  []string
+	cores    int
+	ops      int
+	retry    int
+	deadline time.Duration
+	shrink   bool
+	expect   bool
+	verbose  bool
+}
+
+// report accumulates campaign-wide degradation statistics.
+type report struct {
+	runs             int
+	fired            [fault.NumKinds]uint64
+	extraTicks       sim.Tick
+	commits          uint64
+	degradations     uint64
+	maxRetries       int
+	maxRetriesAt     string
+	maxCommitLat     sim.Tick
+	maxCommitLatAt   string
+	retryViolations  uint64
+	oracleViolations int
+}
+
+func (r *report) absorb(res *harness.RunResult, at string) {
+	r.runs++
+	if res.Faults != nil {
+		for k, n := range res.Faults.Fired {
+			r.fired[k] += n
+		}
+		r.extraTicks += res.Faults.ExtraTicks
+	}
+	if res.Watch != nil {
+		r.commits += res.Watch.Commits
+		r.degradations += res.Watch.Degradations
+		r.retryViolations += res.Watch.RetryBoundViolations
+		if res.Watch.MaxConflictRetries > r.maxRetries {
+			r.maxRetries = res.Watch.MaxConflictRetries
+			r.maxRetriesAt = at
+		}
+		if res.Watch.MaxCommitLatency > r.maxCommitLat {
+			r.maxCommitLat = res.Watch.MaxCommitLatency
+			r.maxCommitLatAt = at
+		}
+	}
+}
+
+func (r *report) print() {
+	fmt.Printf("\ncampaign report (%d surviving runs):\n", r.runs)
+	fmt.Printf("  faults fired:")
+	total := uint64(0)
+	for k := fault.Kind(0); k < fault.NumKinds; k++ {
+		if r.fired[k] > 0 {
+			fmt.Printf(" %s=%d", k, r.fired[k])
+			total += r.fired[k]
+		}
+	}
+	if total == 0 {
+		fmt.Printf(" none")
+	}
+	fmt.Printf(" (total %d, %d injected ticks)\n", total, r.extraTicks)
+	fmt.Printf("  commits: %d, fallback degradations: %d\n", r.commits, r.degradations)
+	fmt.Printf("  worst conflict-retry count: %d (%s)\n", r.maxRetries, orDash(r.maxRetriesAt))
+	fmt.Printf("  worst commit latency: %d ticks (%s)\n", r.maxCommitLat, orDash(r.maxCommitLatAt))
+	fmt.Printf("  single-retry-bound violations: %d\n", r.retryViolations)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func campaign(o campaignOpts) int {
+	start := time.Now()
+	rep := &report{}
+	for i := 0; i < o.runs; i++ {
+		benchName := o.benches[i%len(o.benches)]
+		cfg := o.cfgs[(i/len(o.benches))%len(o.cfgs)]
+		plan := o.plan.Clone()
+		plan.Seed = o.seed + uint64(i)
+		p := harness.RunParams{
+			Benchmark:    benchName,
+			Config:       cfg,
+			Cores:        o.cores,
+			OpsPerThread: o.ops,
+			RetryLimit:   o.retry,
+			Seed:         o.seed + uint64(i),
+			MaxTicks:     400_000_000,
+			Oracle:       true,
+			Watchdog:     &harness.WatchdogConfig{},
+			FaultPlan:    plan,
+			Deadline:     o.deadline,
+		}
+		res, fail := harness.RunChecked(p)
+		if fail == nil {
+			if o.verbose {
+				fmt.Printf("run %3d %s/%s seed=%d: ok (%d faults, %d commits, %d degradations)\n",
+					i, benchName, cfg, p.Seed, res.Faults.Total(), res.Watch.Commits, res.Watch.Degradations)
+			}
+			rep.absorb(res, fmt.Sprintf("%s/%s seed=%d", benchName, cfg, p.Seed))
+			continue
+		}
+
+		fmt.Printf("run %d FAILED: %s\n", i, fail)
+		if fail.Stack != "" {
+			fmt.Printf("  stack:\n%s\n", indent(fail.Stack, "    "))
+		}
+		if o.shrink {
+			failing := func(cand *fault.Plan) bool {
+				p2 := p
+				p2.FaultPlan = cand
+				_, f2 := harness.RunChecked(p2)
+				return f2 != nil
+			}
+			min := fault.ShrinkPlan(plan, failing)
+			fmt.Printf("  minimal failing plan: {%s}\n", min)
+			fmt.Printf("  replay: clearchaos -runs 1 -seed %d -bench %s -configs %s -cores %d -ops %d -plan %s",
+				p.Seed, benchName, cfg, o.cores, o.ops, o.planName)
+			if kinds := enabledKinds(min); kinds != "" {
+				fmt.Printf(" -faults %s", kinds)
+			}
+			fmt.Println()
+		}
+		if o.expect {
+			fmt.Printf("clearchaos: planted fault caught after %d run(s) in %v\n", i+1, time.Since(start).Round(time.Millisecond))
+			return 0
+		}
+		return 1
+	}
+	rep.print()
+	if o.expect {
+		fmt.Printf("clearchaos: expected a caught fault but all %d runs survived — detectors are blind\n", o.runs)
+		return 1
+	}
+	ok := rep.retryViolations == 0
+	fmt.Printf("clearchaos: %d runs x plan {%s} in %v: all invariant-clean, single-retry bound held\n",
+		o.runs, o.plan, time.Since(start).Round(time.Millisecond))
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// enabledKinds renders the plan's active fault kinds as a -faults argument;
+// replaying the campaign preset restricted to the surviving kinds reproduces
+// the kind set (the shrunk rates may be gentler, but the seed pins the run).
+func enabledKinds(p *fault.Plan) string {
+	var names []string
+	for k := fault.Kind(0); k < fault.NumKinds; k++ {
+		if p.Enabled(k) {
+			names = append(names, k.String())
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+func parseConfigs(s string) ([]harness.ConfigID, error) {
+	var out []harness.ConfigID
+	for _, r := range strings.ToUpper(s) {
+		switch r {
+		case 'B':
+			out = append(out, harness.ConfigB)
+		case 'P':
+			out = append(out, harness.ConfigP)
+		case 'C':
+			out = append(out, harness.ConfigC)
+		case 'W':
+			out = append(out, harness.ConfigW)
+		default:
+			return nil, fmt.Errorf("clearchaos: unknown config %q (want subset of BPCW)", r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("clearchaos: -configs selected nothing")
+	}
+	return out, nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

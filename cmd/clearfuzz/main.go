@@ -12,11 +12,13 @@
 //	clearfuzz -runs 1000 -seed 1            # 1000 cases, all four configs
 //	clearfuzz -configs CW -runs 200         # CLEAR configs only
 //	clearfuzz -replay 42                    # re-run one seed verbosely
-//	clearfuzz -inject                       # prove the oracle catches a
+//	clearfuzz -inject bug                   # prove the oracle catches a
 //	                                        # planted single-retry bug
+//	clearfuzz -inject storm -runs 200       # fuzz under the "storm" fault
+//	                                        # plan (see -inject list)
 //
 // Exit status is 0 iff every case is invariant-clean and serializable
-// (respectively, with -inject, iff the planted bug is caught and shrunk).
+// (respectively, with -inject bug, iff the planted bug is caught and shrunk).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/check/fuzz"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -35,7 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "first case seed (cases use seed..seed+runs-1)")
 		configs = flag.String("configs", "BPCW", "configurations to run each case under (subset of BPCW)")
 		replay  = flag.Uint64("replay", 0, "replay this single seed verbosely and exit")
-		inject  = flag.Bool("inject", false, "enable the planted second-speculative-retry bug and require the oracle to catch and shrink it")
+		inject  = flag.String("inject", "", "\"bug\" plants the second-speculative-retry bug and requires the oracle to catch and shrink it; a fault-plan preset name runs the fuzz loop under that plan; \"list\" prints the presets")
 		verbose = flag.Bool("v", false, "print every case result, not just failures")
 	)
 	flag.Parse()
@@ -51,35 +54,55 @@ func main() {
 	if *replay != 0 {
 		os.Exit(replayOne(*replay, cfgs))
 	}
-	if *inject {
+	switch *inject {
+	case "":
+		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{}))
+	case "bug":
 		os.Exit(injectHunt(*seed, *runs, cfgs))
+	case "list":
+		for _, name := range fault.Presets() {
+			p, _ := fault.PresetPlan(name)
+			fmt.Printf("%-10s %s\n", name, p)
+		}
+		os.Exit(0)
+	default:
+		plan, err := fault.PresetPlan(*inject)
+		if err != nil {
+			fatal(fmt.Errorf("clearfuzz: -inject: %w (use \"bug\", \"list\", or a preset)", err))
+		}
+		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{Plan: plan}))
 	}
-	os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose))
 }
 
 // fuzzRun is the main loop: run cases, stop and shrink on the first failure.
-func fuzzRun(first uint64, runs int, cfgs []fuzz.Config, verbose bool) int {
+// A non-nil opts.Plan runs every case under the fault injector — the oracle
+// and the serial-replay differential must hold under perturbation too.
+func fuzzRun(first uint64, runs int, cfgs []fuzz.Config, verbose bool, opts fuzz.Opts) int {
 	start := time.Now()
 	programs := 0
+	under := ""
+	if opts.Plan != nil {
+		under = fmt.Sprintf(" under fault plan {%s}", opts.Plan)
+	}
 	for i := 0; i < runs; i++ {
 		seed := first + uint64(i)
 		c := fuzz.Gen(seed)
 		programs += len(c.Progs)
-		results := fuzz.RunAll(c, cfgs, fuzz.Opts{})
+		results := fuzz.RunAll(c, cfgs, opts)
 		if verbose {
 			for _, r := range results {
 				fmt.Printf("seed %d %s\n", seed, r)
 			}
 		}
 		if fuzz.AnyFailed(results) {
-			fmt.Printf("seed %d FAILED:\n", seed)
+			fmt.Printf("seed %d FAILED%s:\n", seed, under)
 			for _, r := range results {
 				if r.Failed() {
 					fmt.Printf("  %s\n", r)
 				}
 			}
 			failing := func(cand *fuzz.Case) bool {
-				return fuzz.AnyFailed(fuzz.RunAll(cand, cfgs, fuzz.Opts{}))
+				return fuzz.AnyFailed(fuzz.RunAll(cand, cfgs, opts))
 			}
 			shrunk := fuzz.Shrink(c, failing)
 			fmt.Printf("\nshrunk reproducer (%d effective instructions, %d cores) — replay with `clearfuzz -replay %d`:\n%s\n",
@@ -87,8 +110,8 @@ func fuzzRun(first uint64, runs int, cfgs []fuzz.Config, verbose bool) int {
 			return 1
 		}
 	}
-	fmt.Printf("clearfuzz: %d cases (%d AR programs) x %d configs in %v: all invariant-clean and serializable\n",
-		runs, programs, len(cfgs), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("clearfuzz: %d cases (%d AR programs) x %d configs%s in %v: all invariant-clean and serializable\n",
+		runs, programs, len(cfgs), under, time.Since(start).Round(time.Millisecond))
 	return 0
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -72,6 +73,11 @@ type Opts struct {
 	// (cpu.SystemConfig.InjectSecondSpecRetry); only meaningful for the
 	// CLEAR configs C and W.
 	Inject bool
+	// Plan, when non-nil, attaches the internal/fault injector to every
+	// run, so the differential serial-replay check also validates the
+	// machine under environmental perturbation. The injector's own seed is
+	// mixed per (case, config), keeping each run deterministic.
+	Plan *fault.Plan
 }
 
 // Result is the outcome of running one case under one configuration.
@@ -174,6 +180,10 @@ func RunCase(cs *Case, cfg Config, opts Opts) Result {
 		return res
 	}
 	oracle := check.Attach(machine)
+	// The injector attaches after the oracle: the oracle observes the
+	// perturbed run and must still find it invariant-clean — faults may
+	// delay or refuse, never corrupt.
+	fault.Attach(machine, opts.Plan)
 	feeds := make([]cpu.InvocationSource, cs.Cores())
 	for core, invs := range cs.Invs {
 		list := make([]cpu.Invocation, len(invs))

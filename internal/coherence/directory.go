@@ -202,6 +202,11 @@ type Directory struct {
 	// pointer comparison.
 	obs Observer
 
+	// fault, when non-nil, filters requests before they reach the protocol
+	// (see FaultHook in fault.go). Nil by default, same cost discipline as
+	// obs.
+	fault FaultHook
+
 	Stats Stats
 }
 
@@ -290,7 +295,12 @@ func (d *Directory) roundTrip(core int, line mem.LineAddr) sim.Tick {
 // (or keeps ownership). Failed-mode reads do not register as sharers and
 // never abort remote holders.
 func (d *Directory) Read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
-	res := d.read(core, line, attrs)
+	var res AccessResult
+	if d.fault != nil {
+		res = d.faultedAccess(core, line, false, attrs)
+	} else {
+		res = d.read(core, line, attrs)
+	}
 	if d.obs != nil {
 		d.obs.OnAccess(core, line, false, attrs, res)
 	}
@@ -348,7 +358,12 @@ func (d *Directory) read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResu
 // exclusive owner; all other sharers and any previous owner are invalidated
 // (which may abort their transactions, per the holder's policy).
 func (d *Directory) Write(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
-	res := d.write(core, line, attrs)
+	var res AccessResult
+	if d.fault != nil {
+		res = d.faultedAccess(core, line, true, attrs)
+	} else {
+		res = d.write(core, line, attrs)
+	}
 	if d.obs != nil {
 		d.obs.OnAccess(core, line, true, attrs, res)
 	}
@@ -481,7 +496,12 @@ func (d *Directory) askHolder(holder int, line mem.LineAddr, isWrite bool, reque
 // power-mode transaction is using can be nacked — the caller converts that
 // into a retry as well.
 func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
-	res := d.lock(core, line, attrs)
+	var res LockResult
+	if d.fault != nil {
+		res = d.faultedLock(core, line, attrs)
+	} else {
+		res = d.lock(core, line, attrs)
+	}
 	if d.obs != nil {
 		d.obs.OnLock(core, line, res)
 	}

@@ -1,0 +1,68 @@
+package coherence
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// FaultHook is the coherence-layer fault-injection seam. When installed, it
+// filters every Read/Write/Lock before the real directory transaction runs;
+// it can deny the request outright (an injected NACK or lock Retry — outcomes
+// the protocol must already tolerate) or charge extra latency (a directory
+// transient-state stall). A denied request leaves the directory state
+// untouched: faults delay or refuse, never corrupt.
+type FaultHook interface {
+	// FilterAccess is consulted before a Read/Write. deny refuses the
+	// request with a NACK; extra is added to the result latency either way.
+	FilterAccess(core int, line mem.LineAddr, isWrite bool, attrs ReqAttrs) (deny bool, extra sim.Tick)
+	// FilterLock is consulted before a Lock. deny refuses the acquisition
+	// with a Retry; extra is added to the result latency either way.
+	FilterLock(core int, line mem.LineAddr) (deny bool, extra sim.Tick)
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Nil by default: the access paths pay one pointer comparison.
+func (d *Directory) SetFaultHook(h FaultHook) { d.fault = h }
+
+// faultedAccess applies the fault filter around a Read/Write. An injected
+// denial is reported exactly like a holder NACK against a locked line
+// (Nacked+LockNack) so requester-side handling — abort without CRT
+// pollution — takes the same path as a real refusal.
+func (d *Directory) faultedAccess(core int, line mem.LineAddr, isWrite bool, attrs ReqAttrs) AccessResult {
+	deny, extra := d.fault.FilterAccess(core, line, isWrite, attrs)
+	if deny {
+		d.Stats.Nacks++
+		return AccessResult{
+			Latency:  d.roundTrip(core, line) + extra,
+			Nacked:   true,
+			LockNack: true,
+		}
+	}
+	var res AccessResult
+	if isWrite {
+		res = d.write(core, line, attrs)
+	} else {
+		res = d.read(core, line, attrs)
+	}
+	res.Latency += extra
+	return res
+}
+
+// faultedLock applies the fault filter around a Lock. An injected denial is
+// reported as a Retry — the same signal a lock held by another core produces
+// — so the requester re-walks after the backoff; the lexicographic order
+// argument is unaffected because no lock state changes.
+func (d *Directory) faultedLock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
+	deny, extra := d.fault.FilterLock(core, line)
+	if deny {
+		d.Stats.Locks++
+		d.Stats.Retries++
+		return LockResult{
+			Latency: d.roundTrip(core, line) + d.cfg.Lat.Backoff + extra,
+			Retry:   true,
+		}
+	}
+	res := d.lock(core, line, attrs)
+	res.Latency += extra
+	return res
+}

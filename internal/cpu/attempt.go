@@ -113,9 +113,19 @@ func (c *Core) beginSpeculative() {
 		c.m.probe.OnAttemptStart(c.id, ModeSpeculative, c.attempt, nil)
 	}
 
+	// Injected environmental abort (interrupt/TLB shootdown) on a first
+	// speculative attempt: the transaction dies before executing.
+	if c.m.fault != nil && c.attempt == 0 && c.m.fault.SpuriousAbort(c.id) {
+		c.abortNow(htm.AbortSpurious)
+		return
+	}
+
 	// PowerTM: a transaction that has aborted at least once tries to claim
-	// the power token for its retry.
-	if c.m.Cfg.PowerTM && c.conflictRetries >= 1 && !c.power {
+	// the power token for its retry. An injected denial window models a
+	// token arbiter that is momentarily unresponsive; the core simply runs
+	// without priority, which the protocol must tolerate anyway.
+	if c.m.Cfg.PowerTM && c.conflictRetries >= 1 && !c.power &&
+		(c.m.fault == nil || !c.m.fault.DenyPowerClaim(c.id)) {
 		if c.m.Power.TryClaim(c.id) {
 			c.power = true
 			c.m.Stats.PowerClaims++
@@ -147,6 +157,16 @@ func (c *Core) beginSpeculative() {
 		return
 	}
 	res := c.m.Dir.Read(c.id, c.m.Fallback.Line, coherence.ReqAttrs{})
+	if res.Nacked || res.Retry {
+		// Only reachable under fault injection (nothing locks or
+		// prioritises the fallback line in normal operation). The
+		// subscription did not register at the directory, so the attempt
+		// must not proceed — a missed fallback invalidation would break
+		// opacity. Treat it like any refused own-request.
+		delete(c.readSet, c.m.Fallback.Line)
+		c.conflictOnOwnRequest()
+		return
+	}
 	c.l1Insert(c.m.Fallback.Line)
 	c.engine().Schedule(res.Latency, c.stepFn)
 }
@@ -345,11 +365,12 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 		}
 		c.retryMode = a.Mode
 		if a.Mode == clear.RetrySCL || a.Mode == clear.RetryNSCL {
-			if c.m.Cfg.InjectSecondSpecRetry {
-				// Fault injection (tests only): ignore the convertible
-				// assessment and take a second plain speculative retry —
-				// the exact bug class the single-retry invariant exists to
-				// catch.
+			if c.m.Cfg.InjectSecondSpecRetry ||
+				(c.m.fault != nil && c.m.fault.ForceSecondSpecRetry(c.id)) {
+				// Fault injection (tests and chaos campaigns only): ignore
+				// the convertible assessment and take a second plain
+				// speculative retry — the exact bug class the single-retry
+				// invariant exists to catch.
 				c.retryMode = clear.RetrySpeculative
 			} else {
 				c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)

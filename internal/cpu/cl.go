@@ -82,7 +82,14 @@ func (c *Core) lockWalk(i int) {
 	c.l1Insert(e.Addr)
 	c.l1.Pin(e.Addr)
 	c.walkIdx = i + 1
-	c.engine().Schedule(res.Latency, c.lockWalkFn)
+	lat := res.Latency
+	if c.m.fault != nil {
+		// Injected lock-holder preemption: the walk stalls while holding
+		// this lock, so every contender on it spins longer — the ordered
+		// locking argument must still guarantee progress.
+		lat += c.m.fault.PreemptHolder(c.id)
+	}
+	c.engine().Schedule(lat, c.lockWalkFn)
 }
 
 // resumeLockWalk is the pre-bound continuation of an in-flight lock walk:

@@ -157,6 +157,10 @@ type Machine struct {
 	// comparison. Multiple observers (oracle, tracer, telemetry) attach via
 	// AddProbe, which tees them.
 	probe Probe
+
+	// fault, when non-nil, perturbs the retry-control state machine (see
+	// FaultHook in fault.go). Nil by default, same cost discipline as probe.
+	fault FaultHook
 }
 
 // NewMachine assembles a machine around an already-populated memory (the
@@ -207,6 +211,18 @@ func (m *Machine) AttachFeeds(feeds []InvocationSource) {
 // cores finish — both indicate a deadlock or livelock in the protocol under
 // test (the HoldOnLocked experiments trigger this deliberately).
 func (m *Machine) Run(maxTicks sim.Tick) error {
+	return m.RunGuarded(maxTicks, 0, nil)
+}
+
+// RunGuarded runs like Run but pauses the event loop every `every` simulated
+// ticks to call guard. A non-nil guard error stops the run and is returned
+// verbatim — the forward-progress watchdog uses this to convert a detected
+// livelock, wait cycle, or retry-bound violation into a structured failure
+// before the tick budget burns out. Guard callbacks run between events and
+// must not schedule anything, so a nil-returning guard leaves the run
+// bit-identical to an unguarded one. every==0 or guard==nil degrades to a
+// single uninterrupted RunUntil.
+func (m *Machine) RunGuarded(maxTicks sim.Tick, every sim.Tick, guard func() error) error {
 	m.remaining = 0
 	for _, c := range m.Cores {
 		if c.feed != nil {
@@ -217,7 +233,23 @@ func (m *Machine) Run(maxTicks sim.Tick) error {
 	if m.remaining == 0 {
 		return nil
 	}
-	drained := m.Engine.RunUntil(maxTicks)
+	var drained bool
+	if every == 0 || guard == nil {
+		drained = m.Engine.RunUntil(maxTicks)
+	} else {
+		for next := every; ; next += every {
+			if next > maxTicks {
+				next = maxTicks
+			}
+			drained = m.Engine.RunUntil(next)
+			if drained || m.remaining == 0 || next >= maxTicks {
+				break
+			}
+			if err := guard(); err != nil {
+				return err
+			}
+		}
+	}
 	if m.remaining > 0 {
 		if drained {
 			return fmt.Errorf("cpu: event queue drained with %d cores unfinished (deadlock)", m.remaining)

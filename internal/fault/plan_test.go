@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetsValidate asserts every named preset passes its own validation —
+// a preset that cannot run would make the campaign CLI unusable.
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range Presets() {
+		p, err := PresetPlan(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", name, err)
+		}
+	}
+	if _, err := PresetPlan("no-such-preset"); err == nil {
+		t.Error("unknown preset name did not error")
+	}
+}
+
+// TestKindStringRoundTrip asserts every kind's name resolves back to itself
+// (the clearchaos -faults parser depends on it).
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+		back, ok := KindFromString(s)
+		if !ok || back != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v, true", s, back, ok, k)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("KindFromString accepted a bogus name")
+	}
+}
+
+// TestDisableEnabled asserts Disable(k) turns exactly kind k off.
+func TestDisableEnabled(t *testing.T) {
+	full, err := PresetPlan("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k == KindSecondSpecRetry {
+			continue // not part of the default preset
+		}
+		if !full.Enabled(k) {
+			t.Fatalf("default preset should enable %v", k)
+		}
+		p := full.Clone().Disable(k)
+		if p.Enabled(k) {
+			t.Errorf("Disable(%v) left the kind enabled", k)
+		}
+		for o := Kind(0); o < NumKinds; o++ {
+			if o != k && o != KindSecondSpecRetry && !p.Enabled(o) {
+				t.Errorf("Disable(%v) also disabled %v", k, o)
+			}
+		}
+	}
+}
+
+// TestRestrict asserts Restrict keeps only the named kinds.
+func TestRestrict(t *testing.T) {
+	p, err := PresetPlan("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Restrict(map[Kind]bool{KindNack: true, KindDirStall: true})
+	for k := Kind(0); k < NumKinds; k++ {
+		want := k == KindNack || k == KindDirStall
+		if p.Enabled(k) != want {
+			t.Errorf("after Restrict, Enabled(%v) = %v, want %v", k, p.Enabled(k), want)
+		}
+	}
+}
+
+// TestShrinkPlanIsolatesKind runs the shrinker against a synthetic failure
+// predicate (fails iff NACKs can fire) and expects the minimal plan to keep
+// only the NACK kind, at a reduced rate.
+func TestShrinkPlanIsolatesKind(t *testing.T) {
+	full, err := PresetPlan("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := func(p *Plan) bool { return p.Enabled(KindNack) }
+	min := ShrinkPlan(full, failing)
+	if !failing(min) {
+		t.Fatal("shrunk plan no longer satisfies the failure predicate")
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k == KindNack {
+			continue
+		}
+		if min.Enabled(k) {
+			t.Errorf("shrunk plan still enables irrelevant kind %v", k)
+		}
+	}
+	if min.NackRate >= full.NackRate {
+		t.Errorf("shrinker did not reduce the surviving rate: %g >= %g", min.NackRate, full.NackRate)
+	}
+}
+
+// TestShrinkPlanPassingInput asserts a plan that does not fail is returned
+// unchanged (no spurious mutation of a healthy plan).
+func TestShrinkPlanPassingInput(t *testing.T) {
+	p, err := PresetPlan("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := ShrinkPlan(p, func(*Plan) bool { return false })
+	if min.String() != p.String() {
+		t.Errorf("shrinking a passing plan changed it: %s -> %s", p, min)
+	}
+}
+
+// TestEmptyPlan asserts the zero plan is empty and renders as such.
+func TestEmptyPlan(t *testing.T) {
+	var p Plan
+	if !p.Empty() {
+		t.Error("zero plan is not Empty")
+	}
+	if p.String() != "empty" {
+		t.Errorf("zero plan renders as %q", p.String())
+	}
+	off, err := PresetPlan("off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !off.Empty() {
+		t.Error(`preset "off" is not empty`)
+	}
+}

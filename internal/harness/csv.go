@@ -64,3 +64,28 @@ func (m *Matrix) WriteCSV(w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteFailuresCSV emits the sweep's isolated run failures, one row per
+// failed (benchmark, config, retry, seed) run, so a hardened matrix leaves
+// an auditable record instead of a crashed process.
+func (m *Matrix) WriteFailuresCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "config", "retry_limit", "seed", "reason",
+	}); err != nil {
+		return err
+	}
+	for _, fl := range m.Failures {
+		if err := cw.Write([]string{
+			fl.Benchmark,
+			fl.Config.String(),
+			fmt.Sprintf("%d", fl.RetryLimit),
+			fmt.Sprintf("%d", fl.Seed),
+			fl.Reason,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

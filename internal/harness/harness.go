@@ -8,10 +8,12 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -111,6 +113,19 @@ type RunParams struct {
 	// Telemetry, when non-nil, attaches the lock-free live counter
 	// collector (safe to share across concurrent runs).
 	Telemetry *trace.Live
+	// Deadline bounds the *host* wall time of the run; zero means no
+	// deadline. Exceeding it stops the event loop with an error — the sweep
+	// hardening that keeps one pathological cell from hanging a matrix.
+	Deadline time.Duration
+	// Watchdog, when non-nil, attaches the forward-progress watchdog with
+	// the given configuration (zero value = defaults); livelocks, persistent
+	// waits-for cycles, and single-retry-bound violations become run errors.
+	Watchdog *WatchdogConfig
+	// FaultPlan, when non-nil, attaches the internal/fault injector driven
+	// by the plan. A nil plan keeps every seam detached (zero cost); an
+	// empty plan attaches but fires nothing and leaves digests byte-
+	// identical.
+	FaultPlan *fault.Plan
 }
 
 // DefaultRunParams returns laptop-scale defaults: the paper's 32 cores with
@@ -153,6 +168,10 @@ type RunResult struct {
 	Stats  *stats.Run
 	Dir    coherence.Stats
 	Energy float64
+	// Faults reports what the injector fired (nil without a FaultPlan).
+	Faults *fault.Stats
+	// Watch is the watchdog's robustness report (nil without a Watchdog).
+	Watch *WatchdogReport
 }
 
 // Run executes one simulation end to end: setup, execution, verification.
@@ -203,8 +222,48 @@ func Run(p RunParams) (*RunResult, error) {
 		p.Telemetry.RunStarted()
 		defer p.Telemetry.RunFinished()
 	}
-	if err := machine.Run(p.MaxTicks); err != nil {
-		return nil, fmt.Errorf("harness: %s/%s: %w", p.Benchmark, p.Config, err)
+	var dog *Watchdog
+	if p.Watchdog != nil {
+		dog = AttachWatchdog(machine, *p.Watchdog)
+	}
+	// The injector attaches last: hooks above observe the (perturbed) run,
+	// and the injector's recorder feeds fault events into the tracer.
+	inj := fault.Attach(machine, p.FaultPlan)
+	if inj != nil && tracer != nil {
+		inj.SetRecorder(tracer)
+	}
+
+	var guard func() error
+	var every sim.Tick
+	if dog != nil {
+		every = dog.cfg.CheckEvery
+		guard = dog.Check
+	}
+	if p.Deadline > 0 {
+		if every == 0 {
+			every = 200_000
+		}
+		inner := guard
+		start := time.Now()
+		guard = func() error {
+			if time.Since(start) > p.Deadline {
+				return fmt.Errorf("wall deadline %s exceeded at tick %d", p.Deadline, machine.Engine.Now())
+			}
+			if inner != nil {
+				return inner()
+			}
+			return nil
+		}
+	}
+	if err := machine.RunGuarded(p.MaxTicks, every, guard); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s seed %d: %w", p.Benchmark, p.Config, p.Seed, err)
+	}
+	if dog != nil {
+		// One final sweep so a violation in the last event slice is not
+		// lost.
+		if err := dog.Check(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s seed %d: %w", p.Benchmark, p.Config, p.Seed, err)
+		}
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
@@ -225,6 +284,14 @@ func Run(p RunParams) (*RunResult, error) {
 		Params: p,
 		Stats:  machine.Stats,
 		Dir:    machine.Dir.Stats,
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Faults = &fs
+	}
+	if dog != nil {
+		wr := dog.Report()
+		res.Watch = &wr
 	}
 	res.Energy = stats.DefaultEnergyModel().Energy(machine.Stats, machine.Dir.Stats, p.Cores)
 	return res, nil

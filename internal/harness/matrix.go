@@ -1,9 +1,10 @@
 package harness
 
 import (
-	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -32,6 +33,14 @@ type MatrixOptions struct {
 	// atomic counters make it safe to share across the parallel workers
 	// (the clearbench -serve live endpoint feeds from it).
 	Telemetry *trace.Live
+	// RunDeadline bounds the host wall time of every individual run; zero
+	// means unbounded. A run exceeding it becomes a RunFailure instead of
+	// hanging the sweep.
+	RunDeadline time.Duration
+	// Cancel, when non-nil and closed, stops dispatching new cells (runs in
+	// flight finish); the partial matrix is returned. The -serve signal
+	// handler uses it for graceful shutdown.
+	Cancel <-chan struct{}
 }
 
 // DefaultMatrixOptions is the full evaluation at laptop scale: all 19
@@ -63,6 +72,10 @@ func QuickMatrixOptions() MatrixOptions {
 type Matrix struct {
 	Opts  MatrixOptions
 	Cells map[string]map[ConfigID]*Aggregate
+	// Failures lists every run that crashed, deadlocked, or blew its
+	// deadline. Cells keep the aggregate over their surviving seeds; a cell
+	// whose every seed failed is absent from Cells.
+	Failures []RunFailure
 }
 
 // Cell returns the aggregate for (benchmark, config); nil if absent.
@@ -85,7 +98,9 @@ func (m *Matrix) Normalized(bench string, cfg ConfigID, metric func(*Aggregate) 
 
 // RunMatrix executes the sweep with a bounded worker pool. Each
 // (benchmark, config, retry-limit) cell runs all seeds; the best retry limit
-// (lowest trimmed-mean cycles) is kept.
+// (lowest trimmed-mean cycles) is kept. Individual run failures (crash,
+// deadlock, deadline) are isolated into Matrix.Failures instead of aborting
+// the sweep: the cell aggregates whatever seeds survived.
 func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 	type jobKey struct {
 		bench string
@@ -93,9 +108,9 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 		retry int
 	}
 	type jobResult struct {
-		key jobKey
-		agg *Aggregate
-		err error
+		key   jobKey
+		agg   *Aggregate
+		fails []RunFailure
 	}
 
 	var jobs []jobKey
@@ -119,22 +134,33 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 		go func() {
 			defer wg.Done()
 			for k := range jobCh {
-				agg, err := runCell(opts, k.bench, k.cfg, k.retry)
-				resCh <- jobResult{k, agg, err}
+				agg, fails := runCell(opts, k.bench, k.cfg, k.retry)
+				resCh <- jobResult{k, agg, fails}
 			}
 		}()
 	}
+dispatch:
 	for _, k := range jobs {
-		jobCh <- k
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				break dispatch
+			case jobCh <- k:
+			}
+		} else {
+			jobCh <- k
+		}
 	}
 	close(jobCh)
 	wg.Wait()
 	close(resCh)
 
 	best := make(map[string]map[ConfigID]*Aggregate)
+	var failures []RunFailure
 	for r := range resCh {
-		if r.err != nil {
-			return nil, fmt.Errorf("harness: cell %s/%s retry=%d: %w", r.key.bench, r.key.cfg, r.key.retry, r.err)
+		failures = append(failures, r.fails...)
+		if r.agg == nil {
+			continue
 		}
 		row, ok := best[r.key.bench]
 		if !ok {
@@ -145,11 +171,28 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 			row[r.key.cfg] = r.agg
 		}
 	}
-	return &Matrix{Opts: opts, Cells: best}, nil
+	sort.Slice(failures, func(i, j int) bool {
+		a, b := failures[i], failures[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.RetryLimit != b.RetryLimit {
+			return a.RetryLimit < b.RetryLimit
+		}
+		return a.Seed < b.Seed
+	})
+	return &Matrix{Opts: opts, Cells: best, Failures: failures}, nil
 }
 
-func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggregate, error) {
+// runCell runs one (benchmark, config, retry-limit) cell across all seeds.
+// Failed seeds are reported individually; the aggregate covers the
+// survivors and is nil when every seed failed.
+func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggregate, []RunFailure) {
 	results := make([]*RunResult, 0, len(opts.Seeds))
+	var fails []RunFailure
 	for _, seed := range opts.Seeds {
 		p := RunParams{
 			Benchmark:                    bench,
@@ -162,12 +205,28 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggreg
 			DisableDiscoveryContinuation: opts.DisableDiscoveryContinuation,
 			SCLLockAllReads:              opts.SCLLockAllReads,
 			Telemetry:                    opts.Telemetry,
+			Deadline:                     opts.RunDeadline,
 		}
-		res, err := Run(p)
-		if err != nil {
-			return nil, err
+		res, fail := RunChecked(p)
+		if fail != nil {
+			fails = append(fails, *fail)
+			continue
 		}
 		results = append(results, res)
 	}
-	return aggregateRuns(results)
+	if len(results) == 0 {
+		return nil, fails
+	}
+	agg, err := aggregateRuns(results)
+	if err != nil {
+		fails = append(fails, RunFailure{
+			Benchmark:  bench,
+			Config:     cfg,
+			RetryLimit: retry,
+			Seed:       results[0].Params.Seed,
+			Reason:     "aggregate: " + err.Error(),
+		})
+		return nil, fails
+	}
+	return agg, fails
 }

@@ -27,9 +27,13 @@ func RunRetrySweep(opts MatrixOptions) (*RetrySweep, error) {
 		for _, cfg := range opts.Configs {
 			s.Cycles[bench][cfg] = make(map[int]float64)
 			for _, retry := range opts.RetryLimits {
-				agg, err := runCell(opts, bench, cfg, retry)
-				if err != nil {
-					return nil, err
+				agg, fails := runCell(opts, bench, cfg, retry)
+				if agg == nil {
+					reason := "no surviving seeds"
+					if len(fails) > 0 {
+						reason = fails[0].Reason
+					}
+					return nil, fmt.Errorf("harness: cell %s/%s retry=%d: %s", bench, cfg, retry, reason)
 				}
 				s.Cycles[bench][cfg][retry] = agg.Cycles
 			}

@@ -31,6 +31,11 @@ const (
 	// AbortDeviation: an S-CL or NS-CL re-execution touched a line outside
 	// the discovery-learned set.
 	AbortDeviation
+	// AbortSpurious: an injected environmental abort (interrupt, TLB
+	// shootdown) landing inside the speculative window; produced only by the
+	// internal/fault injector. Counts toward the retry limit like any
+	// non-fallback abort.
+	AbortSpurious
 )
 
 func (r AbortReason) String() string {
@@ -49,6 +54,8 @@ func (r AbortReason) String() string {
 		return "explicit"
 	case AbortDeviation:
 		return "deviation"
+	case AbortSpurious:
+		return "spurious"
 	}
 	return "unknown"
 }

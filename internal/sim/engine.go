@@ -82,6 +82,11 @@ type Engine struct {
 	// Executed counts how many events have run; exposed for tests and for
 	// the harness's progress accounting.
 	Executed uint64
+
+	// perturb, when non-nil, maps each Schedule delay to the delay actually
+	// used (the fault-injection seam: bounded random extra latency). Nil by
+	// default: Schedule pays one pointer comparison.
+	perturb func(Tick) Tick
 }
 
 // NewEngine returns an engine with an empty event queue at tick zero.
@@ -98,6 +103,9 @@ func (e *Engine) Schedule(delay Tick, call Event) {
 	if call == nil {
 		panic("sim: Schedule called with nil event")
 	}
+	if e.perturb != nil {
+		delay = e.perturb(delay)
+	}
 	e.seq++
 	ev := scheduledEvent{at: e.now + delay, seq: e.seq, call: call}
 	if delay < laneTicks {
@@ -108,6 +116,12 @@ func (e *Engine) Schedule(delay Tick, call Event) {
 	}
 	e.heapPush(ev)
 }
+
+// SetDelayPerturb installs (or, with nil, removes) a delay-perturbation
+// function applied to every Schedule call. Fault injection uses it to add
+// bounded random latency to scheduled events; the perturbation must be
+// deterministic for the run to stay reproducible.
+func (e *Engine) SetDelayPerturb(f func(Tick) Tick) { e.perturb = f }
 
 // ScheduleAt runs call at an absolute tick, which must not be in the past.
 func (e *Engine) ScheduleAt(at Tick, call Event) {

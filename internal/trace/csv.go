@@ -125,6 +125,8 @@ func eventDetail(meta Meta, e Event) string {
 			op = "write"
 		}
 		return fmt.Sprintf("%s flags=%s", op, dirFlagString(e.DirFlags()))
+	case KindFault:
+		return fmt.Sprintf("fault=%s ticks=%d", e.FaultKind(), e.FaultTicks())
 	}
 	return ""
 }

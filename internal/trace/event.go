@@ -25,6 +25,7 @@ import (
 
 	clear "repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -67,6 +68,10 @@ const (
 	// KindEvict: a core dropped a line from its sharer/owner slots.
 	// Addr=line.
 	KindEvict
+	// KindFault: the fault injector fired. Arg0=fault kind
+	// (internal/fault.Kind), Core=0xff for sim-layer faults not attributable
+	// to a core, Addr=target line (0 if none), Arg3=injected extra ticks.
+	KindFault
 
 	numKinds
 )
@@ -93,6 +98,8 @@ func (k Kind) String() string {
 		return "dir"
 	case KindEvict:
 		return "evict"
+	case KindFault:
+		return "fault"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -273,6 +280,13 @@ func packCounts(low, high int) uint64 {
 	}
 	return uint64(uint32(low)) | uint64(uint32(high))<<packedHighShift
 }
+
+// FaultKind returns the injected fault class of a KindFault event.
+func (e Event) FaultKind() fault.Kind { return fault.Kind(e.Arg0) }
+
+// FaultTicks returns the injected extra latency of a KindFault event (zero
+// for refusal-type faults).
+func (e Event) FaultTicks() sim.Tick { return sim.Tick(e.Arg3) }
 
 // LockOutcome returns the outcome of a KindLock event.
 func (e Event) LockOutcome() uint8 { return e.Arg0 }

@@ -83,6 +83,8 @@ func textMessage(meta Meta, e Event) string {
 		return fmt.Sprintf("dir %s %s flags=%s", op, e.Line(), dirFlagString(e.DirFlags()))
 	case KindEvict:
 		return fmt.Sprintf("evict %s", e.Line())
+	case KindFault:
+		return fmt.Sprintf("fault %s line=%s ticks=%d", e.FaultKind(), e.Line(), e.FaultTicks())
 	}
 	return ""
 }

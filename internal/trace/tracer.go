@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -308,5 +309,20 @@ func (t *Tracer) OnEvict(core int, line mem.LineAddr) {
 	t.emit(KindEvict, core, 0, 0, 0, uint64(line), 0)
 }
 
+// --- fault.Recorder ---
+
+// RecordFault records one fired fault from the injector (core -1, a
+// sim-layer fault with no attributable core, is stored as 0xff). The record
+// carries the fault kind, the target line (0 if none), and the injected
+// extra ticks, so offline tools can correlate perturbations with the
+// protocol reactions around them.
+func (t *Tracer) RecordFault(core int, kind fault.Kind, ticks sim.Tick, line mem.LineAddr) {
+	if core < 0 {
+		core = 0xff
+	}
+	t.emit(KindFault, core, uint8(kind), 0, 0, uint64(line), uint64(ticks))
+}
+
 var _ cpu.Probe = (*Tracer)(nil)
 var _ coherence.Observer = (*Tracer)(nil)
+var _ fault.Recorder = (*Tracer)(nil)
