@@ -10,6 +10,14 @@
 //	clearbench -table 1           # just Table 1 (static, fast)
 //	clearbench -quick             # reduced sweep for a fast look
 //	clearbench -ablation discovery|lockall
+//	clearbench -cache-dir .clearcache          # memoize every cell run
+//	clearbench -cache-dir .clearcache -resume  # resume a cancelled sweep
+//
+// With -cache-dir, every (benchmark, config, retry, seed) run is served from
+// the content-addressed run cache when its parameters match a previous run
+// bit-for-bit; a sweep interrupted by SIGINT (or a crash) re-run with the
+// same -cache-dir recomputes only the missing cells. -no-cache bypasses the
+// store entirely.
 package main
 
 import (
@@ -24,16 +32,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
-// stopProfiles finishes any active profiles; fatal calls it because os.Exit
-// skips deferred calls.
-var stopProfiles = func() {}
-
 func main() {
+	cliutil.SetTool("clearbench")
 	var (
 		table    = flag.Int("table", 0, "print only this table (1 or 2)")
 		fig      = flag.Int("fig", 0, "print only this figure (1, 8..13)")
@@ -49,19 +55,20 @@ func main() {
 		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /debug/vars")
 		deadline = flag.Duration("run-deadline", 0, "host wall-time deadline per individual run; an exceeding run becomes an isolated failure instead of hanging the sweep (0 = none)")
 	)
+	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
-	stopProfiles = stop
+	cliutil.OnExit(stop)
 	defer stop()
 
 	// The static tables need no simulation.
 	if *table == 1 {
 		if err := harness.PrintTable1(os.Stdout); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		return
 	}
@@ -70,7 +77,7 @@ func main() {
 		return
 	}
 	if *table != 0 {
-		fatal(fmt.Errorf("unknown table %d", *table))
+		cliutil.Usagef("unknown table %d", *table)
 	}
 
 	if *fig != 0 {
@@ -78,7 +85,7 @@ func main() {
 		case 1, 8, 9, 10, 11, 12, 13:
 		default:
 			// Validate before the (minutes-long) matrix run.
-			fatal(fmt.Errorf("unknown figure %d (want 1 or 8..13)", *fig))
+			cliutil.Usagef("unknown figure %d (want 1 or 8..13)", *fig)
 		}
 	}
 
@@ -105,10 +112,19 @@ func main() {
 	case "lockall":
 		opts.SCLLockAllReads = true
 	default:
-		fatal(fmt.Errorf("unknown ablation %q", *ablation))
+		cliutil.Usagef("unknown ablation %q", *ablation)
 	}
 
 	opts.RunDeadline = *deadline
+
+	store, err := sweepFlags.Store()
+	if err != nil {
+		cliutil.Usage(err)
+	}
+	opts.Store = store
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "clearbench: run cache at %s\n", store.Dir())
+	}
 
 	var srv *http.Server
 	if *serve != "" {
@@ -137,7 +153,7 @@ func main() {
 	if *sweep {
 		sw, err := harness.RunRetrySweep(opts)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		sw.Print(os.Stdout)
 		return
@@ -145,8 +161,9 @@ func main() {
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops dispatching new
 	// matrix cells (runs in flight finish) and the partial matrix is still
-	// reported; a second signal kills the process through the default
-	// handler.
+	// reported — and, with -cache-dir, every completed cell is already
+	// persisted, so re-running with -resume picks up where this left off; a
+	// second signal kills the process through the default handler.
 	cancel := make(chan struct{})
 	opts.Cancel = cancel
 	sigCh := make(chan os.Signal, 1)
@@ -173,7 +190,7 @@ func main() {
 		len(opts.Benchmarks), len(opts.Configs), len(opts.RetryLimits), len(opts.Seeds), opts.Cores, opts.OpsPerThread)
 	m, err := harness.RunMatrix(opts)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	shutdown()
 	interrupted := false
@@ -182,7 +199,20 @@ func main() {
 		interrupted = true
 	default:
 	}
-	fmt.Fprintf(os.Stderr, "clearbench: matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "clearbench: matrix done in %v\n", time.Since(start).Round(time.Millisecond))
+	if store != nil {
+		lookups := m.CacheHits + m.CacheMisses
+		rate := 0.0
+		if lookups > 0 {
+			rate = 100 * float64(m.CacheHits) / float64(lookups)
+		}
+		fmt.Fprintf(os.Stderr, "clearbench: run cache: %d hits, %d misses (%.1f%% hits) in %s\n",
+			m.CacheHits, m.CacheMisses, rate, store.Dir())
+		if *sweepFlags.Resume {
+			fmt.Fprintf(os.Stderr, "clearbench: resumed %d of %d cell runs from cache\n", m.CacheHits, lookups)
+		}
+	}
+	fmt.Fprintln(os.Stderr)
 
 	if len(m.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "clearbench: %d run(s) failed in isolation (cells aggregate the surviving seeds):\n", len(m.Failures))
@@ -194,26 +224,26 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		if err := m.WriteCSV(f); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", *csvPath)
 		if len(m.Failures) > 0 {
 			failPath := *csvPath + ".failures.csv"
 			ff, err := os.Create(failPath)
 			if err != nil {
-				fatal(err)
+				cliutil.Fatal(err)
 			}
 			if err := m.WriteFailuresCSV(ff); err != nil {
-				fatal(err)
+				cliutil.Fatal(err)
 			}
 			if err := ff.Close(); err != nil {
-				fatal(err)
+				cliutil.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", failPath)
 		}
@@ -232,7 +262,7 @@ func main() {
 		printers[*fig]()
 	} else {
 		if err := harness.PrintTable1(os.Stdout); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Println()
 		harness.PrintTable2(os.Stdout, opts.Cores)
@@ -242,17 +272,9 @@ func main() {
 		}
 	}
 	if interrupted {
-		stopProfiles()
-		os.Exit(130)
+		cliutil.Exit(130)
 	}
 	if len(m.Failures) > 0 {
-		stopProfiles()
-		os.Exit(1)
+		cliutil.Exit(cliutil.ExitFailure)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clearbench:", err)
-	stopProfiles()
-	os.Exit(1)
 }

@@ -16,10 +16,12 @@
 //	clearchaos -plan planted -expect-catch   # prove the watchdog catches a
 //	                                         # planted second-spec-retry fault
 //	clearchaos -list-plans                   # show the named presets
+//	clearchaos -cache-dir .clearcache        # replay: clean cached runs are
+//	                                         # skipped, only new cells execute
 //
 // Exit status is 0 iff every run survived with zero oracle violations and
 // zero watchdog detections (with -expect-catch: iff a planted fault was
-// caught and shrunk).
+// caught and shrunk); 2 = usage error.
 package main
 
 import (
@@ -29,8 +31,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/runstore"
 	"repro/internal/sim"
 )
 
@@ -39,6 +43,7 @@ import (
 var campaignBenches = []string{"hashmap", "bst", "queue", "intruder"}
 
 func main() {
+	cliutil.SetTool("clearchaos")
 	var (
 		runs      = flag.Int("runs", 64, "number of campaign runs")
 		seed      = flag.Uint64("seed", 1, "base seed (run i uses seed+i for both workload and faults)")
@@ -55,6 +60,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every run result, not just failures")
 		listPlans = flag.Bool("list-plans", false, "list the named fault-plan presets and exit")
 	)
+	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *listPlans {
@@ -67,29 +73,38 @@ func main() {
 
 	base, err := fault.PresetPlan(*planName)
 	if err != nil {
-		fatal(err)
+		cliutil.Usage(err)
 	}
 	if *faults != "" {
 		keep := make(map[fault.Kind]bool)
 		for _, name := range strings.Split(*faults, ",") {
 			k, ok := fault.KindFromString(strings.TrimSpace(name))
 			if !ok {
-				fatal(fmt.Errorf("clearchaos: unknown fault kind %q", name))
+				cliutil.Usagef("unknown fault kind %q", name)
 			}
 			keep[k] = true
 		}
 		base = base.Restrict(keep)
 	}
 	if err := base.Validate(); err != nil {
-		fatal(err)
+		cliutil.Usage(err)
 	}
-	cfgs, err := parseConfigs(*configs)
+	cfgs, err := harness.ParseConfigs(*configs)
 	if err != nil {
-		fatal(err)
+		cliutil.Usage(err)
+	}
+	for _, c := range cfgs {
+		if c == harness.ConfigM {
+			cliutil.Usagef("config M is not part of chaos campaigns (want subset of BPCW)")
+		}
 	}
 	benches := campaignBenches
 	if *bench != "" {
 		benches = []string{*bench}
+	}
+	store, err := sweepFlags.Store()
+	if err != nil {
+		cliutil.Usage(err)
 	}
 
 	os.Exit(campaign(campaignOpts{
@@ -106,6 +121,7 @@ func main() {
 		shrink:   *doShrink,
 		expect:   *expect,
 		verbose:  *verbose,
+		store:    store,
 	}))
 }
 
@@ -123,11 +139,17 @@ type campaignOpts struct {
 	shrink   bool
 	expect   bool
 	verbose  bool
+	// store, when non-nil, is the content-addressed run cache: a campaign
+	// replay skips the simulation of every run whose (plan, seed, machine)
+	// tuple already has a clean cached record — only failures (never
+	// cached) and new cells execute.
+	store *runstore.Store
 }
 
 // report accumulates campaign-wide degradation statistics.
 type report struct {
 	runs             int
+	cached           int
 	fired            [fault.NumKinds]uint64
 	extraTicks       sim.Tick
 	commits          uint64
@@ -181,6 +203,9 @@ func (r *report) print() {
 	fmt.Printf("  worst conflict-retry count: %d (%s)\n", r.maxRetries, orDash(r.maxRetriesAt))
 	fmt.Printf("  worst commit latency: %d ticks (%s)\n", r.maxCommitLat, orDash(r.maxCommitLatAt))
 	fmt.Printf("  single-retry-bound violations: %d\n", r.retryViolations)
+	if r.cached > 0 {
+		fmt.Printf("  runs served from the run cache: %d of %d\n", r.cached, r.runs)
+	}
 }
 
 func orDash(s string) string {
@@ -211,11 +236,18 @@ func campaign(o campaignOpts) int {
 			FaultPlan:    plan,
 			Deadline:     o.deadline,
 		}
-		res, fail := harness.RunChecked(p)
+		res, fail, hit := harness.RunCheckedCached(o.store, p)
 		if fail == nil {
+			if hit {
+				rep.cached++
+			}
 			if o.verbose {
-				fmt.Printf("run %3d %s/%s seed=%d: ok (%d faults, %d commits, %d degradations)\n",
-					i, benchName, cfg, p.Seed, res.Faults.Total(), res.Watch.Commits, res.Watch.Degradations)
+				from := ""
+				if hit {
+					from = ", cached"
+				}
+				fmt.Printf("run %3d %s/%s seed=%d: ok (%d faults, %d commits, %d degradations%s)\n",
+					i, benchName, cfg, p.Seed, res.Faults.Total(), res.Watch.Commits, res.Watch.Degradations, from)
 			}
 			rep.absorb(res, fmt.Sprintf("%s/%s seed=%d", benchName, cfg, p.Seed))
 			continue
@@ -274,37 +306,10 @@ func enabledKinds(p *fault.Plan) string {
 	return strings.Join(names, ",")
 }
 
-func parseConfigs(s string) ([]harness.ConfigID, error) {
-	var out []harness.ConfigID
-	for _, r := range strings.ToUpper(s) {
-		switch r {
-		case 'B':
-			out = append(out, harness.ConfigB)
-		case 'P':
-			out = append(out, harness.ConfigP)
-		case 'C':
-			out = append(out, harness.ConfigC)
-		case 'W':
-			out = append(out, harness.ConfigW)
-		default:
-			return nil, fmt.Errorf("clearchaos: unknown config %q (want subset of BPCW)", r)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("clearchaos: -configs selected nothing")
-	}
-	return out, nil
-}
-
 func indent(s, prefix string) string {
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
 	for i, l := range lines {
 		lines[i] = prefix + l
 	}
 	return strings.Join(lines, "\n")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
 }

@@ -29,10 +29,13 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/check/fuzz"
+	"repro/internal/cliutil"
 	"repro/internal/fault"
+	"repro/internal/harness"
 )
 
 func main() {
+	cliutil.SetTool("clearfuzz")
 	var (
 		runs    = flag.Int("runs", 256, "number of random cases to run")
 		seed    = flag.Uint64("seed", 1, "first case seed (cases use seed..seed+runs-1)")
@@ -43,12 +46,24 @@ func main() {
 	)
 	flag.Parse()
 
-	cfgs, err := fuzz.ParseConfigs(*configs)
+	ids, err := harness.ParseConfigs(*configs)
 	if err != nil {
-		fatal(err)
+		cliutil.Usage(err)
 	}
-	if len(cfgs) == 0 {
-		fatal(fmt.Errorf("clearfuzz: -configs selected nothing"))
+	cfgs := make([]fuzz.Config, 0, len(ids))
+	for _, id := range ids {
+		switch id {
+		case harness.ConfigB:
+			cfgs = append(cfgs, fuzz.ConfigB)
+		case harness.ConfigP:
+			cfgs = append(cfgs, fuzz.ConfigP)
+		case harness.ConfigC:
+			cfgs = append(cfgs, fuzz.ConfigC)
+		case harness.ConfigW:
+			cfgs = append(cfgs, fuzz.ConfigW)
+		default:
+			cliutil.Usagef("config %s is not fuzzable (want subset of BPCW)", id)
+		}
 	}
 
 	if *replay != 0 {
@@ -68,7 +83,7 @@ func main() {
 	default:
 		plan, err := fault.PresetPlan(*inject)
 		if err != nil {
-			fatal(fmt.Errorf("clearfuzz: -inject: %w (use \"bug\", \"list\", or a preset)", err))
+			cliutil.Usagef("-inject: %v (use \"bug\", \"list\", or a preset)", err)
 		}
 		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{Plan: plan}))
 	}
@@ -140,7 +155,7 @@ func injectHunt(first uint64, runs int, cfgs []fuzz.Config) int {
 		}
 	}
 	if len(clearCfgs) == 0 {
-		fatal(fmt.Errorf("clearfuzz: -inject needs a CLEAR configuration (C or W) in -configs"))
+		cliutil.Usagef("-inject needs a CLEAR configuration (C or W) in -configs")
 	}
 	caught := func(c *fuzz.Case) bool {
 		for _, r := range fuzz.RunAll(c, clearCfgs, fuzz.Opts{Inject: true}) {
@@ -170,9 +185,4 @@ func injectHunt(first uint64, runs int, cfgs []fuzz.Config) int {
 	}
 	fmt.Printf("clearfuzz: planted bug NOT caught in %d seeds — the oracle is blind\n", runs)
 	return 1
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
 }

@@ -13,6 +13,9 @@
 //	clearinspect -bench sorted-list            # disassembly + analysis
 //	clearinspect -bench mwobject -trace -ops 5 # traced mini-run (config W)
 //	clearinspect -bench hashmap -trace -trace-out run.trace
+//
+// Exit status follows the uniform policy: 1 = the run failed, 2 = usage
+// error (unknown benchmark/config, bad flags).
 package main
 
 import (
@@ -20,8 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/trace"
@@ -29,6 +32,7 @@ import (
 )
 
 func main() {
+	cliutil.SetTool("clearinspect")
 	var (
 		bench    = flag.String("bench", "", "benchmark to inspect (empty: list all)")
 		traced   = flag.Bool("trace", false, "run a small traced simulation")
@@ -54,11 +58,11 @@ func main() {
 	// of a partial report.
 	w, err := workload.New(*bench)
 	if err != nil {
-		usageError(fmt.Sprintf("unknown benchmark %q (run clearinspect with no -bench to list)", *bench))
+		cliutil.Usagef("unknown benchmark %q (run clearinspect with no -bench to list)", *bench)
 	}
-	config, ok := parseConfig(*cfg)
-	if !ok {
-		usageError(fmt.Sprintf("unknown config %q (want B, P, C, W or M)", *cfg))
+	config, err := harness.ParseConfig(*cfg)
+	if err != nil {
+		cliutil.Usage(err)
 	}
 
 	fmt.Printf("benchmark %s: %d atomic regions\n\n", w.Name(), len(w.ARs()))
@@ -90,12 +94,12 @@ func main() {
 	fmt.Printf("--- traced run: %d cores x %d ops, config %s ---\n", *cores, *ops, config)
 	res, err := harness.Run(p)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 
 	if *traceOut != "" {
 		if err := os.WriteFile(*traceOut, buf.Bytes(), 0o644); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "clearinspect: wrote %s (%d bytes)\n", *traceOut, buf.Len())
 	}
@@ -103,48 +107,18 @@ func main() {
 	if *text {
 		rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		evs, err := rd.ReadAll()
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		if err := trace.WriteText(os.Stdout, rd.Meta(), evs); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 	}
 
 	s := res.Stats
 	fmt.Printf("--- done: %d cycles, %d commits (spec %d, S-CL %d, NS-CL %d, fallback %d), %d aborts ---\n",
 		s.Cycles, s.Commits, s.CommitsByMode[0], s.CommitsByMode[1], s.CommitsByMode[2], s.CommitsByMode[3], s.Aborts)
-}
-
-// parseConfig resolves a configuration letter.
-func parseConfig(s string) (harness.ConfigID, bool) {
-	switch strings.ToUpper(s) {
-	case "B":
-		return harness.ConfigB, true
-	case "P":
-		return harness.ConfigP, true
-	case "C":
-		return harness.ConfigC, true
-	case "W":
-		return harness.ConfigW, true
-	case "M":
-		return harness.ConfigM, true
-	}
-	return 0, false
-}
-
-// usageError prints the message plus flag usage and exits with status 2
-// (flag's own usage-error convention).
-func usageError(msg string) {
-	fmt.Fprintln(os.Stderr, "clearinspect:", msg)
-	flag.Usage()
-	os.Exit(2)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clearinspect:", err)
-	os.Exit(1)
 }

@@ -6,6 +6,9 @@
 // Usage:
 //
 //	clearsim -bench hashmap -config W -cores 32 -ops 200 -retries 4 -seed 1
+//
+// Exit status follows the uniform policy: 1 = the run failed, 2 = usage
+// error (unknown benchmark/config, bad flags).
 package main
 
 import (
@@ -13,8 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/stats"
@@ -22,33 +25,29 @@ import (
 )
 
 func main() {
+	cliutil.SetTool("clearsim")
+	run := cliutil.AddRunFlags(flag.CommandLine, cliutil.RunDefaults{
+		Bench: "hashmap", Config: "B", Cores: 32, Ops: 120, Retries: 4, Seed: 1,
+	})
+	tr := cliutil.AddTraceFlags(flag.CommandLine, false)
 	var (
-		bench    = flag.String("bench", "hashmap", "benchmark name (-list to enumerate)")
-		config   = flag.String("config", "B", "configuration: B, P, C, W or M (static locking)")
-		cores    = flag.Int("cores", 32, "simulated cores (= threads)")
-		ops      = flag.Int("ops", 120, "AR invocations per thread")
-		retries  = flag.Int("retries", 4, "conflict-retries before fallback")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		sle      = flag.Bool("sle", false, "in-core speculation (SLE) instead of HTM")
-		meshNet  = flag.Bool("mesh", false, "2D mesh interconnect instead of the crossbar")
-		altSize  = flag.Int("alt", 0, "ALT entries (0 = paper's 32)")
-		ertSize  = flag.Int("ert", 0, "ERT entries (0 = paper's 16)")
-		noDisc   = flag.Bool("no-discovery-continuation", false, "ablation: abort at first conflict instead of continuing discovery")
-		lockAll  = flag.Bool("scl-lock-all", false, "ablation: S-CL locks the whole learned footprint")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut = flag.String("trace-out", "", "record the run's binary event trace to this file (inspect with cleartrace)")
-		traceMem = flag.Bool("trace-mem", false, "include per-memory-operation events in -trace-out")
-		traceDir = flag.Bool("trace-dir", false, "include directory transaction events in -trace-out")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		sle     = flag.Bool("sle", false, "in-core speculation (SLE) instead of HTM")
+		meshNet = flag.Bool("mesh", false, "2D mesh interconnect instead of the crossbar")
+		altSize = flag.Int("alt", 0, "ALT entries (0 = paper's 32)")
+		ertSize = flag.Int("ert", 0, "ERT entries (0 = paper's 16)")
+		noDisc  = flag.Bool("no-discovery-continuation", false, "ablation: abort at first conflict instead of continuing discovery")
+		lockAll = flag.Bool("scl-lock-all", false, "ablation: S-CL locks the whole learned footprint")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	stopProfiles, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "clearsim:", err)
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
+	cliutil.OnExit(stopProfiles)
 	defer stopProfiles()
 
 	if *list {
@@ -58,29 +57,10 @@ func main() {
 		return
 	}
 
-	var cfg harness.ConfigID
-	switch strings.ToUpper(*config) {
-	case "B":
-		cfg = harness.ConfigB
-	case "P":
-		cfg = harness.ConfigP
-	case "C":
-		cfg = harness.ConfigC
-	case "W":
-		cfg = harness.ConfigW
-	case "M":
-		cfg = harness.ConfigM
-	default:
-		fmt.Fprintf(os.Stderr, "clearsim: unknown config %q (want B, P, C, W or M)\n", *config)
-		stopProfiles()
-		os.Exit(2)
+	p, err := run.Params()
+	if err != nil {
+		cliutil.Usage(err)
 	}
-
-	p := harness.DefaultRunParams(*bench, cfg)
-	p.Cores = *cores
-	p.OpsPerThread = *ops
-	p.RetryLimit = *retries
-	p.Seed = *seed
 	p.SLE = *sle
 	p.Mesh = *meshNet
 	p.ALTEntries = *altSize
@@ -88,32 +68,20 @@ func main() {
 	p.DisableDiscoveryContinuation = *noDisc
 	p.SCLLockAllReads = *lockAll
 
-	var traceFile *os.File
-	if *traceOut != "" {
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "clearsim:", err)
-			stopProfiles()
-			os.Exit(1)
-		}
-		p.TraceWriter = traceFile
-		p.TraceMem = *traceMem
-		p.TraceDir = *traceDir
+	closeTrace, err := tr.Apply(&p)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
 
 	res, err := harness.Run(p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "clearsim:", err)
-		stopProfiles()
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
-	if traceFile != nil {
-		if err := traceFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "clearsim:", err)
-			stopProfiles()
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "clearsim: wrote trace %s\n", *traceOut)
+	if err := closeTrace(); err != nil {
+		cliutil.Fatal(err)
+	}
+	if *tr.Out != "" {
+		fmt.Fprintf(os.Stderr, "clearsim: wrote trace %s\n", *tr.Out)
 	}
 	printResult(res)
 }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/htm"
 	"repro/internal/sim"
@@ -17,54 +18,29 @@ import (
 	"repro/internal/trace"
 )
 
-// parseConfig resolves a configuration letter.
-func parseConfig(s string) (harness.ConfigID, bool) {
-	switch strings.ToUpper(s) {
-	case "B":
-		return harness.ConfigB, true
-	case "P":
-		return harness.ConfigP, true
-	case "C":
-		return harness.ConfigC, true
-	case "W":
-		return harness.ConfigW, true
-	case "M":
-		return harness.ConfigM, true
-	}
-	return 0, false
-}
-
 // cmdRecord runs one simulation with the tracer attached and writes the
 // binary stream.
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("cleartrace record", flag.ExitOnError)
+	run := cliutil.AddRunFlags(fs, cliutil.RunDefaults{
+		Bench: "hashmap", Config: "C", Cores: 8, Ops: 40, Retries: 4, Seed: 1,
+	})
 	var (
-		bench    = fs.String("bench", "hashmap", "benchmark name")
-		config   = fs.String("config", "C", "configuration: B, P, C, W or M")
-		cores    = fs.Int("cores", 8, "simulated cores")
-		ops      = fs.Int("ops", 40, "AR invocations per thread")
-		retries  = fs.Int("retries", 4, "conflict-retries before fallback")
-		seed     = fs.Uint64("seed", 1, "workload seed")
 		out      = fs.String("o", "run.trace", "output trace file")
 		withMem  = fs.Bool("mem", false, "record per-memory-operation events (verbose)")
 		withDir  = fs.Bool("dir", false, "record directory transaction events (verbose)")
 		withOrcl = fs.Bool("oracle", false, "also attach the invariant oracle")
 	)
 	fs.Parse(args)
-	cfg, ok := parseConfig(*config)
-	if !ok {
-		return fmt.Errorf("unknown config %q (want B, P, C, W or M)", *config)
+	p, err := run.Params()
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	p := harness.DefaultRunParams(*bench, cfg)
-	p.Cores = *cores
-	p.OpsPerThread = *ops
-	p.RetryLimit = *retries
-	p.Seed = *seed
 	p.TraceWriter = f
 	p.TraceMem = *withMem
 	p.TraceDir = *withDir
@@ -80,7 +56,7 @@ func cmdRecord(args []string) error {
 	}
 	st, _ := os.Stat(*out)
 	fmt.Fprintf(os.Stderr, "cleartrace: recorded %s (%d bytes): %s/%s cores=%d ops=%d seed=%d: %d cycles, %d commits, %d aborts\n",
-		*out, st.Size(), *bench, cfg, *cores, *ops, *seed,
+		*out, st.Size(), p.Benchmark, p.Config, p.Cores, p.OpsPerThread, p.Seed,
 		res.Stats.Cycles, res.Stats.Commits, res.Stats.Aborts)
 	return nil
 }

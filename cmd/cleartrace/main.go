@@ -22,12 +22,15 @@ package main
 import (
 	"fmt"
 	"os"
+
+	"repro/internal/cliutil"
 )
 
 func main() {
+	cliutil.SetTool("cleartrace")
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		cliutil.Exit(cliutil.ExitUsage)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -52,11 +55,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "cleartrace: unknown command %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		cliutil.Exit(cliutil.ExitUsage)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cleartrace:", err)
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
 }
 

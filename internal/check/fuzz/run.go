@@ -43,25 +43,9 @@ func (c Config) String() string {
 	return "?"
 }
 
-// ParseConfigs turns a string like "BCW" into a config list.
-func ParseConfigs(s string) ([]Config, error) {
-	var out []Config
-	for _, r := range strings.ToUpper(s) {
-		switch r {
-		case 'B':
-			out = append(out, ConfigB)
-		case 'P':
-			out = append(out, ConfigP)
-		case 'C':
-			out = append(out, ConfigC)
-		case 'W':
-			out = append(out, ConfigW)
-		default:
-			return nil, fmt.Errorf("fuzz: unknown config %q (want subset of BPCW)", r)
-		}
-	}
-	return out, nil
-}
+// Config-string decoding lives in harness.ParseConfigs (the single decoder
+// shared by every tool); cmd/clearfuzz maps the harness IDs onto this
+// package's Config values.
 
 // maxCaseTicks bounds one case run; generated programs are tiny, so hitting
 // this means a liveness bug.

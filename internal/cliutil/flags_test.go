@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestRunFlagsParams(t *testing.T) {
+	fs := newFlagSet()
+	run := AddRunFlags(fs, RunDefaults{Bench: "hashmap", Config: "C", Cores: 8, Ops: 40, Retries: 4, Seed: 1})
+	if err := fs.Parse([]string{"-bench", "bst", "-config", "w", "-cores", "16", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := run.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Benchmark != "bst" || p.Config != harness.ConfigW || p.Cores != 16 || p.OpsPerThread != 40 || p.RetryLimit != 4 || p.Seed != 9 {
+		t.Fatalf("params = %+v", p)
+	}
+
+	fs = newFlagSet()
+	run = AddRunFlags(fs, RunDefaults{Bench: "hashmap", Config: "C", Cores: 8, Ops: 40, Retries: 4, Seed: 1})
+	if err := fs.Parse([]string{"-config", "Z"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Params(); err == nil {
+		t.Fatal("config Z did not error")
+	}
+}
+
+func TestSweepFlagsStore(t *testing.T) {
+	parse := func(t *testing.T, args ...string) *SweepFlags {
+		t.Helper()
+		fs := newFlagSet()
+		sf := AddSweepFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return sf
+	}
+
+	// No flags: caching off, no error.
+	if st, err := parse(t).Store(); err != nil || st != nil {
+		t.Fatalf("no flags: store=%v err=%v, want nil/nil", st, err)
+	}
+	// -no-cache wins over -cache-dir.
+	if st, err := parse(t, "-cache-dir", t.TempDir(), "-no-cache").Store(); err != nil || st != nil {
+		t.Fatalf("-no-cache: store=%v err=%v, want nil/nil", st, err)
+	}
+	// -cache-dir alone opens (and creates) the store.
+	dir := t.TempDir() + "/cache"
+	st, err := parse(t, "-cache-dir", dir).Store()
+	if err != nil || st == nil {
+		t.Fatalf("-cache-dir: store=%v err=%v", st, err)
+	}
+	if st.Dir() != dir {
+		t.Fatalf("store dir %q, want %q", st.Dir(), dir)
+	}
+	// -resume without -cache-dir is a usage error.
+	if _, err := parse(t, "-resume").Store(); err == nil {
+		t.Fatal("-resume without -cache-dir did not error")
+	}
+	// -resume with a missing directory is a usage error (typo guard)...
+	if _, err := parse(t, "-cache-dir", t.TempDir()+"/missing", "-resume").Store(); err == nil {
+		t.Fatal("-resume on a missing directory did not error")
+	}
+	// ...but with the directory of a previous sweep it opens normally.
+	if st, err := parse(t, "-cache-dir", dir, "-resume").Store(); err != nil || st == nil {
+		t.Fatalf("-resume on an existing cache: store=%v err=%v", st, err)
+	}
+}

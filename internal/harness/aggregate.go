@@ -33,6 +33,14 @@ type Aggregate struct {
 	Fig1Ratio         float64
 	Commits           float64
 	Aborts            float64
+
+	// CacheHits/CacheMisses report how many of this cell's seed runs were
+	// served from the content-addressed run cache vs simulated (zero when
+	// the sweep ran without a store). Kept out of WriteCSV on purpose: the
+	// cell data of a cold and a warm sweep are byte-identical, and these
+	// counters are the only thing that differs.
+	CacheHits   int
+	CacheMisses int
 }
 
 // trimKeep returns the indices of runs kept by the trimmed mean: with n

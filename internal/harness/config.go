@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseConfig resolves one configuration name (case-insensitive letter) to
+// its ConfigID. Every tool that accepts a -config flag decodes it through
+// here, so the accepted spellings and the error message are uniform.
+func ParseConfig(s string) (ConfigID, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "B":
+		return ConfigB, nil
+	case "P":
+		return ConfigP, nil
+	case "C":
+		return ConfigC, nil
+	case "W":
+		return ConfigW, nil
+	case "M":
+		return ConfigM, nil
+	}
+	return 0, fmt.Errorf("unknown config %q (want B, P, C, W or M)", s)
+}
+
+// ParseConfigs resolves a configuration set: either a compact letter string
+// ("BPCW") or a comma/space-separated list ("B,P,C,W"). Order and duplicates
+// are preserved (campaign rotations rely on the order); an empty selection is
+// an error.
+func ParseConfigs(s string) ([]ConfigID, error) {
+	cleaned := strings.NewReplacer(",", "", " ", "", "\t", "").Replace(s)
+	out := make([]ConfigID, 0, len(cleaned))
+	for _, r := range cleaned {
+		id, err := ParseConfig(string(r))
+		if err != nil {
+			return nil, fmt.Errorf("config set %q: %w", s, err)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("config set %q selects nothing (want letters from BPCWM)", s)
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -41,6 +42,14 @@ type MatrixOptions struct {
 	// flight finish); the partial matrix is returned. The -serve signal
 	// handler uses it for graceful shutdown.
 	Cancel <-chan struct{}
+	// Store, when non-nil, is the content-addressed run cache
+	// (internal/runstore): every seed run consults it before simulating and
+	// persists its summary afterwards. Because cell results are pure
+	// functions of their RunParams, a cancelled or crashed sweep restarted
+	// with the same store recomputes only the missing and failed cells —
+	// resume semantics fall out of caching. Safe to share across the
+	// parallel workers.
+	Store *runstore.Store
 }
 
 // DefaultMatrixOptions is the full evaluation at laptop scale: all 19
@@ -76,6 +85,13 @@ type Matrix struct {
 	// deadline. Cells keep the aggregate over their surviving seeds; a cell
 	// whose every seed failed is absent from Cells.
 	Failures []RunFailure
+	// CacheHits/CacheMisses count run-cache consults across every seed run
+	// of the sweep, including the retry-limit cells that lost the best-of
+	// selection. Both are zero without MatrixOptions.Store. Deliberately
+	// not part of WriteCSV: the cell CSVs of a cold and a warm sweep must
+	// stay byte-identical.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Cell returns the aggregate for (benchmark, config); nil if absent.
@@ -108,9 +124,10 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 		retry int
 	}
 	type jobResult struct {
-		key   jobKey
-		agg   *Aggregate
-		fails []RunFailure
+		key          jobKey
+		agg          *Aggregate
+		fails        []RunFailure
+		hits, misses int
 	}
 
 	var jobs []jobKey
@@ -134,8 +151,8 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 		go func() {
 			defer wg.Done()
 			for k := range jobCh {
-				agg, fails := runCell(opts, k.bench, k.cfg, k.retry)
-				resCh <- jobResult{k, agg, fails}
+				agg, fails, hits, misses := runCell(opts, k.bench, k.cfg, k.retry)
+				resCh <- jobResult{k, agg, fails, hits, misses}
 			}
 		}()
 	}
@@ -157,8 +174,11 @@ dispatch:
 
 	best := make(map[string]map[ConfigID]*Aggregate)
 	var failures []RunFailure
+	var cacheHits, cacheMisses int
 	for r := range resCh {
 		failures = append(failures, r.fails...)
+		cacheHits += r.hits
+		cacheMisses += r.misses
 		if r.agg == nil {
 			continue
 		}
@@ -167,7 +187,7 @@ dispatch:
 			row = make(map[ConfigID]*Aggregate)
 			best[r.key.bench] = row
 		}
-		if cur := row[r.key.cfg]; cur == nil || r.agg.Cycles < cur.Cycles {
+		if betterAggregate(row[r.key.cfg], r.agg) {
 			row[r.key.cfg] = r.agg
 		}
 	}
@@ -184,15 +204,39 @@ dispatch:
 		}
 		return a.Seed < b.Seed
 	})
-	return &Matrix{Opts: opts, Cells: best, Failures: failures}, nil
+	return &Matrix{
+		Opts:        opts,
+		Cells:       best,
+		Failures:    failures,
+		CacheHits:   cacheHits,
+		CacheMisses: cacheMisses,
+	}, nil
 }
 
-// runCell runs one (benchmark, config, retry-limit) cell across all seeds.
-// Failed seeds are reported individually; the aggregate covers the
-// survivors and is nil when every seed failed.
-func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggregate, []RunFailure) {
+// betterAggregate decides whether the candidate retry-limit aggregate
+// replaces the current best of its (benchmark, config) cell: strictly fewer
+// cycles wins; equal-cycle ties break towards the LOWEST retry limit. The
+// tie-break matters because cell results arrive in channel order under the
+// parallel workers — without it, two retry limits that happen to produce
+// identical cycle counts would make the matrix output depend on goroutine
+// scheduling.
+func betterAggregate(cur, cand *Aggregate) bool {
+	if cur == nil {
+		return true
+	}
+	if cand.Cycles != cur.Cycles {
+		return cand.Cycles < cur.Cycles
+	}
+	return cand.BestRetryLimit < cur.BestRetryLimit
+}
+
+// runCell runs one (benchmark, config, retry-limit) cell across all seeds,
+// consulting the run cache (when MatrixOptions.Store is set) before each
+// simulation. Failed seeds are reported individually; the aggregate covers
+// the survivors and is nil when every seed failed. hits/misses count the
+// cache consults of this cell's seed runs.
+func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (agg *Aggregate, fails []RunFailure, hits, misses int) {
 	results := make([]*RunResult, 0, len(opts.Seeds))
-	var fails []RunFailure
 	for _, seed := range opts.Seeds {
 		p := RunParams{
 			Benchmark:                    bench,
@@ -207,7 +251,12 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggreg
 			Telemetry:                    opts.Telemetry,
 			Deadline:                     opts.RunDeadline,
 		}
-		res, fail := RunChecked(p)
+		res, fail, hit := RunCheckedCached(opts.Store, p)
+		if hit {
+			hits++
+		} else if opts.Store != nil {
+			misses++
+		}
 		if fail != nil {
 			fails = append(fails, *fail)
 			continue
@@ -215,7 +264,7 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggreg
 		results = append(results, res)
 	}
 	if len(results) == 0 {
-		return nil, fails
+		return nil, fails, hits, misses
 	}
 	agg, err := aggregateRuns(results)
 	if err != nil {
@@ -226,7 +275,9 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (*Aggreg
 			Seed:       results[0].Params.Seed,
 			Reason:     "aggregate: " + err.Error(),
 		})
-		return nil, fails
+		return nil, fails, hits, misses
 	}
-	return agg, fails
+	agg.CacheHits = hits
+	agg.CacheMisses = misses
+	return agg, fails, hits, misses
 }

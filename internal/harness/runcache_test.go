@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// specKeyed lists the RunParams fields that participate in the cache key
+// (RunParams.Spec). specHostSide lists the fields that are deliberately
+// excluded because they never change the simulated outcome. Every RunParams
+// field must appear in exactly one of the two lists.
+var (
+	specKeyed = []string{
+		"Benchmark", "Config", "Cores", "OpsPerThread", "RetryLimit", "Seed",
+		"MaxTicks", "SLE", "Oracle", "Mesh",
+		"DisableDiscoveryContinuation", "SCLLockAllReads",
+		"ERTEntries", "ALTEntries", "CRTEntries", "CRTWays",
+		"Watchdog", "FaultPlan",
+	}
+	specHostSide = []string{
+		"TraceWriter", "TraceMem", "TraceDir", "Telemetry", "Deadline",
+	}
+)
+
+// TestRunParamsSpecCoverage pins the RunParams field set so a new field
+// cannot silently escape the cache key: adding one fails this test until it
+// is classified as keyed (update RunParams.Spec and bump runstore.SpecVersion)
+// or host-side (add it to specHostSide with a justification).
+func TestRunParamsSpecCoverage(t *testing.T) {
+	known := make(map[string]bool)
+	for _, n := range specKeyed {
+		known[n] = true
+	}
+	for _, n := range specHostSide {
+		if known[n] {
+			t.Fatalf("field %q listed as both keyed and host-side", n)
+		}
+		known[n] = true
+	}
+	typ := reflect.TypeOf(RunParams{})
+	seen := make(map[string]bool)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		seen[name] = true
+		if !known[name] {
+			t.Errorf("new RunParams field %q: teach RunParams.Spec about it (and bump runstore.SpecVersion) or list it in specHostSide", name)
+		}
+	}
+	for name := range known {
+		if !seen[name] {
+			t.Errorf("RunParams field %q no longer exists: update the spec coverage lists (and bump runstore.SpecVersion if it was keyed)", name)
+		}
+	}
+}
+
+// TestRunSpecGolden pins the cache key of the default hashmap/C run. It must
+// match the canonical-encoding golden in internal/runstore: if either the
+// Spec mapping or the canonical encoding changes, this fails and
+// runstore.SpecVersion (or the salt schema version) must be bumped.
+func TestRunSpecGolden(t *testing.T) {
+	p := DefaultRunParams("hashmap", ConfigC)
+	spec := p.Spec()
+	if spec.Salt != "stats-digest/v1" {
+		t.Fatalf("salt %q: stats.DigestSchemaVersion changed — verify old cache entries are orphaned and update this golden", spec.Salt)
+	}
+	const wantKey = "97052b078269df342b86310f7a3c4d30450c962f91b9e7b4f35e01d51dc8ba07"
+	if got := spec.Key(); got != wantKey {
+		t.Fatalf("cache key of DefaultRunParams(hashmap, C) changed:\n got %s\nwant %s\ncanonical:\n%s\nIf the change is intentional, bump runstore.SpecVersion and refresh the goldens.",
+			got, wantKey, spec.Canonical())
+	}
+
+	// Watchdog and fault-plan attachments must change the key.
+	pw := p
+	pw.Watchdog = &WatchdogConfig{}
+	if pw.Spec().Key() == wantKey {
+		t.Fatal("attaching a watchdog did not change the cache key")
+	}
+}
+
+func TestRunCachedRoundTrip(t *testing.T) {
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultRunParams("hashmap", ConfigC)
+	p.Cores = 4
+	p.OpsPerThread = 10
+
+	cold, fail, hit := RunCheckedCached(st, p)
+	if fail != nil {
+		t.Fatalf("cold run failed: %v", fail)
+	}
+	if hit {
+		t.Fatal("cold run reported a cache hit")
+	}
+	warm, fail, hit := RunCheckedCached(st, p)
+	if fail != nil {
+		t.Fatalf("warm run failed: %v", fail)
+	}
+	if !hit {
+		t.Fatal("second identical run was not served from the cache")
+	}
+	if cold.Stats.Digest() != warm.Stats.Digest() {
+		t.Fatalf("cached stats digest %s != simulated %s", warm.Stats.Digest(), cold.Stats.Digest())
+	}
+	if cold.Dir != warm.Dir {
+		t.Fatalf("cached directory stats diverged:\n got %+v\nwant %+v", warm.Dir, cold.Dir)
+	}
+	if cold.Energy != warm.Energy {
+		t.Fatalf("cached energy %v != simulated %v", warm.Energy, cold.Energy)
+	}
+
+	// A traced run is not cacheable: it must simulate even with a warm store.
+	pt := p
+	pt.TraceWriter = &bytes.Buffer{}
+	if pt.Cacheable() {
+		t.Fatal("traced run reported cacheable")
+	}
+	if _, _, hit := RunCheckedCached(st, pt); hit {
+		t.Fatal("traced run was served from the cache")
+	}
+}
+
+// matrixCSV runs the sweep and renders its cell CSV.
+func matrixCSV(t *testing.T, opts MatrixOptions) (*Matrix, []byte) {
+	t.Helper()
+	m, err := RunMatrix(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Failures) > 0 {
+		t.Fatalf("sweep had %d failures: %v", len(m.Failures), m.Failures[0])
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+func smallMatrixOptions() MatrixOptions {
+	opts := QuickMatrixOptions()
+	opts.Benchmarks = []string{"mwobject", "bitcoin"}
+	opts.Cores = 4
+	opts.OpsPerThread = 20
+	return opts
+}
+
+// TestMatrixWarmCacheByteIdentical is the memoization contract: a second
+// sweep over a warm store is served entirely from the cache and produces the
+// byte-identical cell CSV — the property the CI round-trip job asserts on the
+// full quick matrix.
+func TestMatrixWarmCacheByteIdentical(t *testing.T) {
+	opts := smallMatrixOptions()
+	_, refCSV := matrixCSV(t, opts) // no store: the uncached reference
+
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st
+	total := len(opts.Benchmarks) * len(opts.Configs) * len(opts.RetryLimits) * len(opts.Seeds)
+
+	coldM, coldCSV := matrixCSV(t, opts)
+	if coldM.CacheHits != 0 || coldM.CacheMisses != total {
+		t.Fatalf("cold sweep: hits=%d misses=%d, want 0/%d", coldM.CacheHits, coldM.CacheMisses, total)
+	}
+	warmM, warmCSV := matrixCSV(t, opts)
+	if warmM.CacheMisses != 0 || warmM.CacheHits != total {
+		t.Fatalf("warm sweep: hits=%d misses=%d, want %d/0", warmM.CacheHits, warmM.CacheMisses, total)
+	}
+	if !bytes.Equal(refCSV, coldCSV) {
+		t.Fatal("cold cached sweep CSV differs from the uncached reference")
+	}
+	if !bytes.Equal(refCSV, warmCSV) {
+		t.Fatal("warm cached sweep CSV differs from the uncached reference")
+	}
+}
+
+// TestMatrixResumeByteIdentical is the resume contract: a sweep cancelled
+// mid-flight and restarted with the same store recomputes only what is
+// missing and still produces the byte-identical matrix.
+func TestMatrixResumeByteIdentical(t *testing.T) {
+	opts := smallMatrixOptions()
+	_, refCSV := matrixCSV(t, opts) // uncached reference
+
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass: cancelled before dispatch finishes. A pre-closed Cancel
+	// channel makes every dispatch a coin flip (select picks randomly between
+	// the closed channel and the job send), so a random prefix of the cells
+	// runs and lands in the store.
+	cancelled := opts
+	cancelled.Store = st
+	cancel := make(chan struct{})
+	close(cancel)
+	cancelled.Cancel = cancel
+	if _, err := RunMatrix(cancelled); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: same store, no cancellation. Only the cells the first pass
+	// missed simulate; the result must be byte-identical to the reference.
+	resumed := opts
+	resumed.Store = st
+	m, resumedCSV := matrixCSV(t, resumed)
+	total := len(opts.Benchmarks) * len(opts.Configs) * len(opts.RetryLimits) * len(opts.Seeds)
+	if m.CacheHits+m.CacheMisses != total {
+		t.Fatalf("resumed sweep consulted the cache %d times, want %d", m.CacheHits+m.CacheMisses, total)
+	}
+	if !bytes.Equal(refCSV, resumedCSV) {
+		t.Fatal("resumed sweep CSV differs from the uninterrupted reference")
+	}
+}
+
+// TestBetterAggregateTieBreak pins the deterministic retry-limit selection:
+// fewer cycles wins, and equal cycles resolve to the lowest retry limit
+// regardless of the (scheduling-dependent) arrival order.
+func TestBetterAggregateTieBreak(t *testing.T) {
+	agg := func(cycles float64, retry int) *Aggregate {
+		return &Aggregate{Cycles: cycles, BestRetryLimit: retry}
+	}
+	cases := []struct {
+		name      string
+		cur, cand *Aggregate
+		want      bool
+	}{
+		{"first result always wins", nil, agg(100, 8), true},
+		{"fewer cycles wins", agg(100, 1), agg(90, 8), true},
+		{"more cycles loses", agg(100, 8), agg(110, 1), false},
+		{"tie: lower retry wins", agg(100, 8), agg(100, 2), true},
+		{"tie: higher retry loses", agg(100, 2), agg(100, 8), false},
+		{"tie: equal retry is stable", agg(100, 4), agg(100, 4), false},
+	}
+	for _, c := range cases {
+		if got := betterAggregate(c.cur, c.cand); got != c.want {
+			t.Errorf("%s: betterAggregate=%v, want %v", c.name, got, c.want)
+		}
+	}
+}

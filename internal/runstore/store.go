@@ -1,0 +1,185 @@
+package runstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMemEntries bounds the in-memory LRU front of a store opened with
+// Open. At ~1–2 KiB per cached run summary this is a few MiB of hot records —
+// enough to keep a full default matrix (19 benchmarks x 5 configs x 4 retry
+// limits x seeds) resident across a sweep without touching disk twice.
+const DefaultMemEntries = 4096
+
+// Store is a concurrency-safe, content-addressed result cache: opaque JSON
+// payloads keyed by RunSpec.Key(), persisted as individual records under a
+// two-level sharded directory (key[:2]/key.json) with an in-memory LRU front.
+//
+// Writes are crash-safe: each record is written to a temp file in its shard
+// directory and atomically renamed into place, so a sweep killed mid-write
+// leaves either the complete record or nothing — never a torn file. A record
+// that fails to decode on the harness side is treated as a miss and
+// recomputed, so even external corruption only costs time, not correctness.
+//
+// All methods are safe for concurrent use by the matrix worker pool.
+type Store struct {
+	dir        string
+	maxEntries int
+
+	mu  sync.Mutex
+	lru *list.List // front = most recently used
+	idx map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+// Open creates (if necessary) and opens the store rooted at dir with the
+// default LRU capacity.
+func Open(dir string) (*Store, error) {
+	return OpenLimited(dir, DefaultMemEntries)
+}
+
+// OpenLimited opens the store with an explicit in-memory LRU bound
+// (maxEntries <= 0 disables the memory front entirely; every Get reads disk).
+func OpenLimited(dir string, maxEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstore: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return &Store{
+		dir:        dir,
+		maxEntries: maxEntries,
+		lru:        list.New(),
+		idx:        make(map[string]*list.Element),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards records by the first two hex characters of the key, keeping
+// individual directories small even for six-figure sweeps.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get returns the payload cached under key, or ok=false when the store holds
+// no such record. A hit from disk is promoted into the LRU front. I/O errors
+// other than non-existence are returned (and counted as misses): a permission
+// problem should surface, not silently force recomputation forever.
+func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
+	s.mu.Lock()
+	if el, found := s.idx[key]; found {
+		s.lru.MoveToFront(el)
+		p := el.Value.(*lruEntry).payload
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return p, true, nil
+	}
+	s.mu.Unlock()
+
+	data, rerr := os.ReadFile(s.path(key))
+	if rerr != nil {
+		s.misses.Add(1)
+		if os.IsNotExist(rerr) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("runstore: read %s: %w", key, rerr)
+	}
+	s.remember(key, data)
+	s.hits.Add(1)
+	return data, true, nil
+}
+
+// Contains reports whether the store holds a record for key without reading
+// or promoting it (used for resume planning).
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	_, found := s.idx[key]
+	s.mu.Unlock()
+	if found {
+		return true
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Put persists payload under key: temp file + atomic rename, then the LRU
+// front. Re-putting an existing key overwrites it (last writer wins, which is
+// harmless: identical specs produce identical payloads).
+func (s *Store) Put(key string, payload []byte) error {
+	dst := s.path(key)
+	shardDir := filepath.Dir(dst)
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(shardDir, "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runstore: commit %s: %w", key, err)
+	}
+	s.remember(key, payload)
+	return nil
+}
+
+// remember inserts (key, payload) into the LRU front, evicting the least
+// recently used entries past the capacity bound.
+func (s *Store) remember(key string, payload []byte) {
+	if s.maxEntries <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, found := s.idx[key]; found {
+		el.Value.(*lruEntry).payload = payload
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.idx[key] = s.lru.PushFront(&lruEntry{key: key, payload: payload})
+	for s.lru.Len() > s.maxEntries {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.idx, back.Value.(*lruEntry).key)
+	}
+}
+
+// MemLen returns the number of records currently held by the LRU front.
+func (s *Store) MemLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Counters returns the store's cumulative hit/miss counts (process lifetime).
+func (s *Store) Counters() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}

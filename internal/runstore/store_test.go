@@ -1,0 +1,202 @@
+package runstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpecCanonicalGolden(t *testing.T) {
+	// The canonical encoding is the hashed content: any drift (reordering,
+	// renaming, formatting) silently orphans every cached record, so the
+	// exact bytes are pinned here. If this test fails you changed the
+	// encoding — bump SpecVersion and update the golden strings.
+	spec := RunSpec{
+		Benchmark:    "hashmap",
+		Config:       "C",
+		Cores:        32,
+		OpsPerThread: 120,
+		RetryLimit:   4,
+		Seed:         1,
+		MaxTicks:     400_000_000,
+		Salt:         "stats-digest/v1",
+	}
+	want := `runspec/v1
+salt=stats-digest/v1
+benchmark=hashmap
+config=C
+cores=32
+ops_per_thread=120
+retry_limit=4
+seed=1
+max_ticks=400000000
+sle=false
+oracle=false
+mesh=false
+disable_discovery_continuation=false
+scl_lock_all_reads=false
+ert_entries=0
+alt_entries=0
+crt_entries=0
+crt_ways=0
+watchdog=
+fault_plan=
+`
+	if got := spec.Canonical(); got != want {
+		t.Fatalf("canonical encoding drifted (bump SpecVersion!):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	const wantKey = "97052b078269df342b86310f7a3c4d30450c962f91b9e7b4f35e01d51dc8ba07"
+	if got := spec.Key(); got != wantKey {
+		t.Fatalf("cache key drifted (bump SpecVersion!):\ngot  %s\nwant %s", got, wantKey)
+	}
+}
+
+func TestSpecKeySensitivity(t *testing.T) {
+	base := RunSpec{Benchmark: "hashmap", Config: "C", Cores: 8, Seed: 1, Salt: "s"}
+	variants := map[string]RunSpec{}
+	v := base
+	v.Benchmark = "bst"
+	variants["benchmark"] = v
+	v = base
+	v.Config = "W"
+	variants["config"] = v
+	v = base
+	v.Seed = 2
+	variants["seed"] = v
+	v = base
+	v.Salt = "s2"
+	variants["salt"] = v
+	v = base
+	v.FaultPlan = "nack=0.1"
+	variants["fault_plan"] = v
+	v = base
+	v.Oracle = true
+	variants["oracle"] = v
+
+	baseKey := base.Key()
+	seen := map[string]string{baseKey: "base"}
+	for name, spec := range variants {
+		k := spec.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := RunSpec{Benchmark: "bst", Seed: 7}.Key()
+	if _, ok, err := st.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	payload := []byte(`{"cycles":42}`)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if !st.Contains(key) {
+		t.Fatal("Contains = false after Put")
+	}
+	hits, misses := st.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	// The record lives at the sharded path, and nothing else (no leftover
+	// temp files from the atomic write protocol).
+	p := filepath.Join(st.Dir(), key[:2], key+".json")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("record not at sharded path: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(st.Dir(), key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := RunSpec{Benchmark: "queue"}.Key()
+	if err := st.Put(key, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory (a resumed sweep in a new
+	// process) serves the record from disk.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st2.Get(key)
+	if err != nil || !ok || string(got) != "persisted" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	st, err := OpenLimited(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = RunSpec{Benchmark: "b", Seed: uint64(i)}.Key()
+		if err := st.Put(keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.MemLen(); got != 2 {
+		t.Fatalf("MemLen = %d, want 2", got)
+	}
+	// The evicted record is still served (from disk) and re-promoted.
+	got, ok, err := st.Get(keys[0])
+	if err != nil || !ok || got[0] != 0 {
+		t.Fatalf("evicted Get = %v, %v, %v", got, ok, err)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	st, err := OpenLimited(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := RunSpec{Benchmark: "b", Seed: uint64(i % 16)}.Key()
+				payload := []byte(fmt.Sprintf(`{"seed":%d}`, i%16))
+				if err := st.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := st.Get(key)
+				if err != nil || !ok || string(got) != string(payload) {
+					t.Errorf("worker %d: Get = %q, %v, %v", w, got, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

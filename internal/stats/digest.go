@@ -6,6 +6,15 @@ import (
 	"strings"
 )
 
+// DigestSchemaVersion identifies the semantics behind Digest(): the set of
+// digest-affecting Run fields and the simulator behaviour that fills them.
+// Bump it on any change that alters the statistics a given RunParams
+// produces — a new Run field, a changed metric definition, a simulator
+// rewrite that is *not* bit-identical. The content-addressed run cache
+// (internal/runstore) salts every cache key with this version, so bumping it
+// orphans all previously cached results instead of replaying stale ones.
+const DigestSchemaVersion = 1
+
 // Digest renders every field of the run deterministically: identical runs
 // produce identical strings, regardless of map iteration order or pointer
 // identity. The machine-level determinism regression test hashes it, and

@@ -34,6 +34,9 @@ type Live struct {
 	runsStarted  atomic.Uint64
 	runsFinished atomic.Uint64
 
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
 	publishOnce sync.Once
 }
 
@@ -45,6 +48,13 @@ func (l *Live) RunStarted() { l.runsStarted.Add(1) }
 
 // RunFinished notes that one simulation run completed.
 func (l *Live) RunFinished() { l.runsFinished.Add(1) }
+
+// CacheHit notes that one run was served from the content-addressed run
+// cache instead of simulating (see internal/runstore).
+func (l *Live) CacheHit() { l.cacheHits.Add(1) }
+
+// CacheMiss notes that one cache-eligible run had to simulate.
+func (l *Live) CacheMiss() { l.cacheMisses.Add(1) }
 
 // --- cpu.Probe ---
 
@@ -82,6 +92,8 @@ var _ cpu.Probe = (*Live)(nil)
 type LiveSnapshot struct {
 	RunsStarted  uint64            `json:"runs_started"`
 	RunsFinished uint64            `json:"runs_finished"`
+	CacheHits    uint64            `json:"cache_hits"`
+	CacheMisses  uint64            `json:"cache_misses"`
 	Invocations  uint64            `json:"invocations"`
 	Attempts     uint64            `json:"attempts"`
 	Commits      uint64            `json:"commits"`
@@ -98,6 +110,8 @@ func (l *Live) Snapshot() LiveSnapshot {
 	s := LiveSnapshot{
 		RunsStarted:  l.runsStarted.Load(),
 		RunsFinished: l.runsFinished.Load(),
+		CacheHits:    l.cacheHits.Load(),
+		CacheMisses:  l.cacheMisses.Load(),
 		Invocations:  l.invocations.Load(),
 		Attempts:     l.attempts.Load(),
 		Commits:      l.commits.Load(),
