@@ -1,0 +1,35 @@
+// Command digestcheck prints the stats digest and energy figure for a
+// representative benchmark × config slice of the run matrix. It is the
+// gate for host-performance work: capture the output before an optimisation,
+// diff it after — any difference means the change altered simulated
+// behaviour, not just host constant factors (see DESIGN.md "Host
+// performance"). Exits non-zero if any run fails.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	benchmarks := []string{
+		"intruder", "hashmap", "sorted-list", "vacation-h", "bayes", "labyrinth",
+	}
+	failed := false
+	for _, wl := range benchmarks {
+		for _, cfg := range []harness.ConfigID{harness.ConfigC, harness.ConfigW} {
+			res, err := harness.Run(harness.DefaultRunParams(wl, cfg))
+			if err != nil {
+				fmt.Printf("%s/%v ERR %v\n", wl, cfg, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s/%v %s energy=%.9f\n", wl, cfg, res.Stats.Digest(), res.Energy)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

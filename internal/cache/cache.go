@@ -29,20 +29,23 @@ func (g Geometry) Sets() int {
 // Icelake-like private L1D from Table 2 of the paper: 48KiB, 12-way.
 var L1DGeometry = Geometry{SizeBytes: 48 * 1024, Ways: 12}
 
-// set holds the resident lines of one cache set in LRU order: index 0 is the
-// most recently used.
-type set struct {
-	lines []mem.LineAddr
-}
-
 // Cache is a tag-only set-associative cache with LRU replacement. It tracks
 // residency, not data (data lives in mem.Memory); pinned lines (locked
 // cachelines) are never chosen as victims.
+//
+// Residency is struct-of-arrays: one flat tag array holds all sets, so a
+// cache is two allocations regardless of geometry and a set's ways share a
+// cacheline of the host. Set s occupies lines[s*Ways : s*Ways+count[s]] in
+// LRU order (index 0 is the most recently used).
 type Cache struct {
-	geom   Geometry
-	sets   []set
-	nsets  int
-	pinned map[mem.LineAddr]bool
+	geom  Geometry
+	nsets int
+	ways  int
+	lines []mem.LineAddr
+	count []uint16
+	// pinned lists the locked-resident lines; it is bounded by the ALT
+	// capacity (32 by default), so linear scans beat any hashed structure.
+	pinned []mem.LineAddr
 
 	// Statistics.
 	Hits      uint64
@@ -54,20 +57,28 @@ type Cache struct {
 func New(g Geometry) *Cache {
 	n := g.Sets()
 	return &Cache{
-		geom:   g,
-		sets:   make([]set, n),
-		nsets:  n,
-		pinned: make(map[mem.LineAddr]bool),
+		geom:  g,
+		nsets: n,
+		ways:  g.Ways,
+		lines: make([]mem.LineAddr, n*g.Ways),
+		count: make([]uint16, n),
 	}
 }
 
 // Geometry returns the cache's geometry.
 func (c *Cache) Geometry() Geometry { return c.geom }
 
+// setSeg returns the set index and the live segment of line's set.
+func (c *Cache) setSeg(line mem.LineAddr) (int, []mem.LineAddr) {
+	si := line.SetIndex(c.nsets)
+	base := si * c.ways
+	return si, c.lines[base : base+int(c.count[si])]
+}
+
 // Contains reports whether line is resident, without touching LRU state.
 func (c *Cache) Contains(line mem.LineAddr) bool {
-	s := &c.sets[line.SetIndex(c.nsets)]
-	for _, l := range s.lines {
+	_, seg := c.setSeg(line)
+	for _, l := range seg {
 		if l == line {
 			return true
 		}
@@ -77,12 +88,12 @@ func (c *Cache) Contains(line mem.LineAddr) bool {
 
 // Access touches line, updating LRU order, and reports whether it hit.
 func (c *Cache) Access(line mem.LineAddr) bool {
-	s := &c.sets[line.SetIndex(c.nsets)]
-	for i, l := range s.lines {
+	_, seg := c.setSeg(line)
+	for i, l := range seg {
 		if l == line {
 			// Move to front.
-			copy(s.lines[1:i+1], s.lines[:i])
-			s.lines[0] = line
+			copy(seg[1:i+1], seg[:i])
+			seg[0] = line
 			c.Hits++
 			return true
 		}
@@ -97,29 +108,29 @@ func (c *Cache) Access(line mem.LineAddr) bool {
 // is unused; the caller (the CLEAR lock controller) treats that as a
 // must-not-happen because discovery verified lockability.
 func (c *Cache) Insert(line mem.LineAddr) (evicted mem.LineAddr, didEvict bool, ok bool) {
-	s := &c.sets[line.SetIndex(c.nsets)]
-	for i, l := range s.lines {
+	si, seg := c.setSeg(line)
+	cnt := len(seg)
+	for i, l := range seg {
 		if l == line {
-			copy(s.lines[1:i+1], s.lines[:i])
-			s.lines[0] = line
+			copy(seg[1:i+1], seg[:i])
+			seg[0] = line
 			return 0, false, true
 		}
 	}
-	if len(s.lines) < c.geom.Ways {
-		s.lines = append(s.lines, 0)
-		copy(s.lines[1:], s.lines)
-		s.lines[0] = line
+	if cnt < c.ways {
+		seg = seg[:cnt+1]
+		copy(seg[1:], seg[:cnt])
+		seg[0] = line
+		c.count[si]++
 		return 0, false, true
 	}
 	// Evict the least recently used non-pinned way.
-	for i := len(s.lines) - 1; i >= 0; i-- {
-		if !c.pinned[s.lines[i]] {
-			evicted = s.lines[i]
-			copy(s.lines[i:], s.lines[i+1:])
-			s.lines = s.lines[:len(s.lines)-1]
-			s.lines = append(s.lines, 0)
-			copy(s.lines[1:], s.lines)
-			s.lines[0] = line
+	for i := cnt - 1; i >= 0; i-- {
+		if !c.Pinned(seg[i]) {
+			evicted = seg[i]
+			copy(seg[i:cnt-1], seg[i+1:])
+			copy(seg[1:], seg[:cnt-1])
+			seg[0] = line
 			c.Evictions++
 			return evicted, true, true
 		}
@@ -130,11 +141,13 @@ func (c *Cache) Insert(line mem.LineAddr) (evicted mem.LineAddr, didEvict bool, 
 // Remove drops line from the cache (e.g. on invalidation). Removing a
 // non-resident line is a no-op.
 func (c *Cache) Remove(line mem.LineAddr) {
-	s := &c.sets[line.SetIndex(c.nsets)]
-	for i, l := range s.lines {
+	si, seg := c.setSeg(line)
+	for i, l := range seg {
 		if l == line {
-			s.lines = append(s.lines[:i], s.lines[i+1:]...)
-			delete(c.pinned, line)
+			copy(seg[i:], seg[i+1:])
+			seg[len(seg)-1] = 0
+			c.count[si]--
+			c.unpin(line)
 			return
 		}
 	}
@@ -146,31 +159,73 @@ func (c *Cache) Pin(line mem.LineAddr) {
 	if !c.Contains(line) {
 		panic(fmt.Sprintf("cache: pinning non-resident line %s", line))
 	}
-	c.pinned[line] = true
+	if !c.Pinned(line) {
+		c.pinned = append(c.pinned, line)
+	}
 }
 
 // Unpin clears the pin; the line stays resident.
-func (c *Cache) Unpin(line mem.LineAddr) { delete(c.pinned, line) }
+func (c *Cache) Unpin(line mem.LineAddr) { c.unpin(line) }
+
+func (c *Cache) unpin(line mem.LineAddr) {
+	for i, l := range c.pinned {
+		if l == line {
+			c.pinned = append(c.pinned[:i], c.pinned[i+1:]...)
+			return
+		}
+	}
+}
 
 // Pinned reports whether the line is currently pinned.
-func (c *Cache) Pinned(line mem.LineAddr) bool { return c.pinned[line] }
+func (c *Cache) Pinned(line mem.LineAddr) bool {
+	for _, l := range c.pinned {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
 
 // PinnedCount returns the number of pinned lines.
 func (c *Cache) PinnedCount() int { return len(c.pinned) }
 
 // Reset empties the cache and clears pins but keeps statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		c.sets[i].lines = c.sets[i].lines[:0]
-	}
-	c.pinned = make(map[mem.LineAddr]bool)
+	clear(c.count)
+	c.pinned = c.pinned[:0]
 }
 
-// FitsSimultaneously reports whether all the given (distinct) lines can be
-// resident at once: no set may be claimed by more than Ways of them. This is
-// CLEAR discovery's lockability assessment.
+// FitsSimultaneously reports whether all the given lines (duplicates
+// tolerated) can be resident at once: no set may be claimed by more than
+// Ways of them. This is CLEAR discovery's lockability assessment. It runs
+// once per discovery abort, so it must not allocate: set occupancy lives in
+// a stack array (private caches have few sets — the Table 2 L1 has 64) and
+// duplicates are skipped with a pairwise scan over the short input (at most
+// the ALT capacity, 32 by default).
 func FitsSimultaneously(g Geometry, lines []mem.LineAddr) bool {
 	nsets := g.Sets()
+	if nsets <= 512 {
+		var perSet [512]uint16
+		for i, l := range lines {
+			dup := false
+			for _, p := range lines[:i] {
+				if p == l {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			idx := l.SetIndex(nsets)
+			perSet[idx]++
+			if int(perSet[idx]) > g.Ways {
+				return false
+			}
+		}
+		return true
+	}
+	// Oversized-geometry fallback (ablation configs only).
 	perSet := make(map[int]int)
 	seen := make(map[mem.LineAddr]bool, len(lines))
 	for _, l := range lines {

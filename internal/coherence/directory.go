@@ -123,16 +123,6 @@ type CoreHook interface {
 	OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs ReqAttrs) HolderResponse
 }
 
-type entry struct {
-	owner    int // core holding M/E, or -1
-	sharers  CoreSet
-	lockedBy int // core holding the cacheline lock, or -1
-	// held queues requests while the entry is blocked, only in HoldOnLocked
-	// mode (the deadlocking design the paper fixes; kept for the
-	// deadlock-injection tests).
-	held []heldReq
-}
-
 type heldReq struct {
 	core    int
 	isWrite bool
@@ -175,26 +165,48 @@ type Stats struct {
 	Hops uint64
 }
 
-// lockRef is one cacheline lock a core currently holds: the line plus the
-// resolved entry, so releasing never consults the entries map.
-type lockRef struct {
-	line mem.LineAddr
-	e    *entry
-}
+// emptySlot is the open-addressed table's vacancy sentinel. Line addresses
+// are word addresses shifted right by the 6 line-offset bits, so the top
+// bits of a real line are always zero and all-ones can never collide.
+const emptySlot = ^mem.LineAddr(0)
+
+// dirMinSlots is the initial table capacity; it doubles on demand.
+const dirMinSlots = 1 << 10
+
+// dirHashMul is the 64-bit golden-ratio multiplier (Fibonacci hashing).
+const dirHashMul = 0x9e3779b97f4a7c15
 
 // Directory is the shared coherence point: it tracks the owner, sharers, and
 // lock state of every line touched so far.
+//
+// Line state lives in an open-addressed, power-of-two table of parallel
+// arrays indexed by slot — no per-line heap nodes. Entries are created on
+// first touch and never deleted (Evict only clears owner/sharer bits), so
+// probing needs no tombstones and slot indices stay valid until the next
+// insertion-triggered growth (which cannot happen inside one directory
+// transaction: insertion occurs only at the top of Read/Write/Lock).
 type Directory struct {
-	cfg     Config
-	entries map[mem.LineAddr]*entry
-	hooks   []CoreHook
-	topo    noc.Topology
+	cfg Config
 
-	// held[core] lists the cacheline locks core currently holds, in
-	// acquisition order. It makes the XEnd bulk unlock (§5.1) and the
+	// The slot-indexed state arrays. keys[i] == emptySlot marks a free
+	// slot; owner/locked use -1 for "none"; heldq is allocated only in
+	// HoldOnLocked mode (the deadlock-injection tests).
+	keys    []mem.LineAddr
+	owner   []int32
+	sharers []CoreSet
+	locked  []int32
+	heldq   [][]heldReq
+	live    int  // occupied slots
+	shift   uint // 64 - log2(len(keys))
+
+	hooks []CoreHook
+	topo  noc.Topology
+
+	// held[core] lists the lines core currently holds cacheline locks on,
+	// in acquisition order. It makes the XEnd bulk unlock (§5.1) and the
 	// locked-line census O(locks held) instead of O(all lines ever
 	// touched); lockedLines is the global count.
-	held        [][]lockRef
+	held        [][]mem.LineAddr
 	lockedLines int
 
 	// obs, when non-nil, is notified after every state transition (see
@@ -222,12 +234,84 @@ func NewDirectory(cfg Config) *Directory {
 	if topo == nil {
 		topo = noc.NewCrossbar(cfg.Lat.Crossbar)
 	}
-	return &Directory{
-		cfg:     cfg,
-		entries: make(map[mem.LineAddr]*entry),
-		hooks:   make([]CoreHook, cfg.NumCores),
-		topo:    topo,
-		held:    make([][]lockRef, cfg.NumCores),
+	d := &Directory{
+		cfg:   cfg,
+		hooks: make([]CoreHook, cfg.NumCores),
+		topo:  topo,
+		held:  make([][]mem.LineAddr, cfg.NumCores),
+	}
+	d.initTable(dirMinSlots)
+	return d
+}
+
+func (d *Directory) initTable(n int) {
+	d.keys = make([]mem.LineAddr, n)
+	for i := range d.keys {
+		d.keys[i] = emptySlot
+	}
+	d.owner = make([]int32, n)
+	d.sharers = make([]CoreSet, n)
+	d.locked = make([]int32, n)
+	if d.cfg.HoldOnLocked {
+		d.heldq = make([][]heldReq, n)
+	}
+	d.shift = uint(64 - bits.Len(uint(n-1)))
+}
+
+// lookup probes for line. It returns the slot holding line (found=true) or
+// the free slot where line would be inserted (found=false).
+func (d *Directory) lookup(line mem.LineAddr) (slot int, found bool) {
+	mask := uint64(len(d.keys) - 1)
+	for i := (uint64(line) * dirHashMul) >> d.shift; ; i = (i + 1) & mask {
+		k := d.keys[i]
+		if k == line {
+			return int(i), true
+		}
+		if k == emptySlot {
+			return int(i), false
+		}
+	}
+}
+
+// slotFor returns line's slot, creating the entry on first touch.
+func (d *Directory) slotFor(line mem.LineAddr) int {
+	i, ok := d.lookup(line)
+	if ok {
+		return i
+	}
+	if (d.live+1)*4 >= len(d.keys)*3 {
+		d.grow()
+		i, _ = d.lookup(line)
+	}
+	d.keys[i] = line
+	d.owner[i] = -1
+	d.sharers[i] = 0
+	d.locked[i] = -1
+	d.live++
+	return i
+}
+
+// grow doubles the table and re-probes every occupied slot. Lock state
+// survives: the per-core held lists store lines, not slot indices.
+func (d *Directory) grow() {
+	oldKeys, oldOwner, oldSharers, oldLocked, oldHeldq := d.keys, d.owner, d.sharers, d.locked, d.heldq
+	d.initTable(len(oldKeys) * 2)
+	mask := uint64(len(d.keys) - 1)
+	for j, k := range oldKeys {
+		if k == emptySlot {
+			continue
+		}
+		i := (uint64(k) * dirHashMul) >> d.shift
+		for d.keys[i] != emptySlot {
+			i = (i + 1) & mask
+		}
+		d.keys[i] = k
+		d.owner[i] = oldOwner[j]
+		d.sharers[i] = oldSharers[j]
+		d.locked[i] = oldLocked[j]
+		if oldHeldq != nil {
+			d.heldq[i] = oldHeldq[j]
+		}
 	}
 }
 
@@ -252,35 +336,26 @@ func (d *Directory) Config() Config { return d.cfg }
 // order (§5, "the set index of the smallest shared structure").
 func (d *Directory) SetOf(line mem.LineAddr) int { return line.SetIndex(d.cfg.Sets) }
 
-func (d *Directory) entryFor(line mem.LineAddr) *entry {
-	e, ok := d.entries[line]
-	if !ok {
-		e = &entry{owner: -1, lockedBy: -1}
-		d.entries[line] = e
-	}
-	return e
-}
-
 // LockedBy returns the core holding the cacheline lock on line, or -1.
 func (d *Directory) LockedBy(line mem.LineAddr) int {
-	if e, ok := d.entries[line]; ok {
-		return e.lockedBy
+	if si, ok := d.lookup(line); ok {
+		return int(d.locked[si])
 	}
 	return -1
 }
 
 // Owner returns the exclusive owner of line, or -1.
 func (d *Directory) Owner(line mem.LineAddr) int {
-	if e, ok := d.entries[line]; ok {
-		return e.owner
+	if si, ok := d.lookup(line); ok {
+		return int(d.owner[si])
 	}
 	return -1
 }
 
 // Sharers returns the sharer set of line.
 func (d *Directory) Sharers(line mem.LineAddr) CoreSet {
-	if e, ok := d.entries[line]; ok {
-		return e.sharers
+	if si, ok := d.lookup(line); ok {
+		return d.sharers[si]
 	}
 	return 0
 }
@@ -309,7 +384,7 @@ func (d *Directory) Read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResu
 
 func (d *Directory) read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
 	d.Stats.Reads++
-	e := d.entryFor(line)
+	si := d.slotFor(line)
 	lat := d.roundTrip(core, line)
 
 	if attrs.FailedMode {
@@ -321,13 +396,13 @@ func (d *Directory) read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResu
 		return AccessResult{Latency: lat + d.cfg.Lat.Memory}
 	}
 
-	if e.lockedBy >= 0 && e.lockedBy != core {
-		return d.refuse(e, line, core, false, attrs, lat)
+	if d.locked[si] >= 0 && int(d.locked[si]) != core {
+		return d.refuse(si, line, core, false, attrs, lat)
 	}
 
-	if e.owner >= 0 && e.owner != core {
+	if owner := int(d.owner[si]); d.owner[si] >= 0 && owner != core {
 		// Owned elsewhere: ask the owner to downgrade (share) the line.
-		resp := d.askHolder(e.owner, line, false, core, attrs)
+		resp := d.askHolder(owner, line, false, core, attrs)
 		if resp == HolderNacks {
 			d.Stats.Nacks++
 			return AccessResult{Latency: lat + d.cfg.Lat.Crossbar, Nacked: true}
@@ -335,21 +410,21 @@ func (d *Directory) read(core int, line mem.LineAddr, attrs ReqAttrs) AccessResu
 		d.Stats.Downgrades++
 		d.Stats.Forwards++
 		// Forward to the owner and data back: two more traversals.
-		lat += d.link(e.owner, line) + d.link(core, line)
+		lat += d.link(owner, line) + d.link(core, line)
 		// Owner keeps a shared copy.
-		e.sharers = e.sharers.Add(e.owner)
-		e.owner = -1
-	} else if e.owner == core {
+		d.sharers[si] = d.sharers[si].Add(owner)
+		d.owner[si] = -1
+	} else if owner == core {
 		// Already owned by the requester (e.g. read after transactional
 		// write): nothing to do at the directory.
-	} else if e.sharers.Empty() && e.owner < 0 {
+	} else if d.sharers[si].Empty() && d.owner[si] < 0 {
 		// Cold miss: fetch from memory.
 		d.Stats.MemoryFetches++
 		lat += d.cfg.Lat.Memory
 	}
 
-	if e.owner != core {
-		e.sharers = e.sharers.Add(core)
+	if int(d.owner[si]) != core {
+		d.sharers[si] = d.sharers[si].Add(core)
 	}
 	return AccessResult{Latency: lat}
 }
@@ -372,35 +447,35 @@ func (d *Directory) Write(core int, line mem.LineAddr, attrs ReqAttrs) AccessRes
 
 func (d *Directory) write(core int, line mem.LineAddr, attrs ReqAttrs) AccessResult {
 	d.Stats.Writes++
-	e := d.entryFor(line)
+	si := d.slotFor(line)
 	lat := d.roundTrip(core, line)
 
-	if e.lockedBy >= 0 && e.lockedBy != core {
-		return d.refuse(e, line, core, true, attrs, lat)
+	if d.locked[si] >= 0 && int(d.locked[si]) != core {
+		return d.refuse(si, line, core, true, attrs, lat)
 	}
 
-	if e.owner == core {
+	if int(d.owner[si]) == core {
 		return AccessResult{Latency: lat}
 	}
 
 	// Collect every remote holder that must be invalidated.
 	nacked := false
 	invalidated := 0
-	if e.owner >= 0 {
-		resp := d.askHolder(e.owner, line, true, core, attrs)
+	if owner := int(d.owner[si]); d.owner[si] >= 0 {
+		resp := d.askHolder(owner, line, true, core, attrs)
 		if resp == HolderNacks {
 			nacked = true
 		} else {
 			d.Stats.Invalidations++
 			invalidated++
-			e.owner = -1
+			d.owner[si] = -1
 		}
 	}
 	if !nacked {
 		// Walk the sharer bits directly (ascending core order, like
 		// CoreSet.ForEach) — no closure, no indirect calls on this hot path.
 		var keep CoreSet
-		for v := uint64(e.sharers); v != 0; {
+		for v := uint64(d.sharers[si]); v != 0; {
 			c := bits.TrailingZeros64(v)
 			v &^= 1 << uint(c)
 			if c == core {
@@ -423,9 +498,9 @@ func (d *Directory) write(core int, line mem.LineAddr, attrs ReqAttrs) AccessRes
 			// Partial invalidation: holders that yielded are already gone;
 			// refusing holders and the requester keep their copies and the
 			// upgrade fails.
-			e.sharers = keep
+			d.sharers[si] = keep
 		} else {
-			e.sharers = 0
+			d.sharers[si] = 0
 		}
 	}
 	if nacked {
@@ -439,13 +514,13 @@ func (d *Directory) write(core int, line mem.LineAddr, attrs ReqAttrs) AccessRes
 		d.Stats.MemoryFetches++
 		lat += d.cfg.Lat.Memory
 	}
-	e.owner = core
-	e.sharers = 0
+	d.owner[si] = int32(core)
+	d.sharers[si] = 0
 	return AccessResult{Latency: lat}
 }
 
 // refuse handles a request that hit a line locked by another core.
-func (d *Directory) refuse(e *entry, line mem.LineAddr, core int, isWrite bool, attrs ReqAttrs, lat sim.Tick) AccessResult {
+func (d *Directory) refuse(si int, line mem.LineAddr, core int, isWrite bool, attrs ReqAttrs, lat sim.Tick) AccessResult {
 	if attrs.NackableLoad && !isWrite {
 		// Nackable loads are refused outright; the requester aborts. This
 		// breaks the two-core cycle of Fig. 5.
@@ -463,7 +538,7 @@ func (d *Directory) refuse(e *entry, line mem.LineAddr, core int, isWrite bool, 
 	if d.cfg.HoldOnLocked {
 		// Deadlock-prone design: park the request at the (blocked) entry.
 		// Only reachable in tests.
-		e.held = append(e.held, heldReq{core: core, isWrite: isWrite})
+		d.heldq[si] = append(d.heldq[si], heldReq{core: core, isWrite: isWrite})
 		return AccessResult{Latency: 0, Retry: false, Nacked: false}
 	}
 	// Production design: tell the requester to try again later, leaving the
@@ -475,8 +550,11 @@ func (d *Directory) refuse(e *entry, line mem.LineAddr, core int, isWrite bool, 
 // HeldCount reports how many requests are parked on line (HoldOnLocked mode
 // only); tests use it to observe the deadlock.
 func (d *Directory) HeldCount(line mem.LineAddr) int {
-	if e, ok := d.entries[line]; ok {
-		return len(e.held)
+	if d.heldq == nil {
+		return 0
+	}
+	if si, ok := d.lookup(line); ok {
+		return len(d.heldq[si])
 	}
 	return 0
 }
@@ -510,15 +588,15 @@ func (d *Directory) Lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 
 func (d *Directory) lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult {
 	d.Stats.Locks++
-	e := d.entryFor(line)
-	if e.lockedBy >= 0 && e.lockedBy != core {
+	si := d.slotFor(line)
+	if d.locked[si] >= 0 && int(d.locked[si]) != core {
 		d.Stats.Retries++
 		return LockResult{Latency: d.roundTrip(core, line) + d.cfg.Lat.Backoff, Retry: true}
 	}
-	if e.owner == core {
+	if int(d.owner[si]) == core {
 		// Already held exclusive (the ALT "Hit" fast path of §5): the lock
 		// is taken without communicating with the rest of the hierarchy.
-		d.acquireLock(core, line, e)
+		d.acquireLock(core, line, si)
 		return LockResult{Latency: d.cfg.Lat.L1Hit}
 	}
 	attrs.Locking = true
@@ -530,19 +608,19 @@ func (d *Directory) lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 		d.Stats.Retries++
 		return LockResult{Latency: res.Latency + d.cfg.Lat.Backoff, Retry: true}
 	}
-	d.acquireLock(core, line, e)
+	d.acquireLock(core, line, si)
 	return LockResult{Latency: res.Latency}
 }
 
 // acquireLock records core as the lock holder of line, keeping the per-core
 // held-locks list and the global count exact. Re-locking an already-held
 // line is a no-op.
-func (d *Directory) acquireLock(core int, line mem.LineAddr, e *entry) {
-	if e.lockedBy == core {
+func (d *Directory) acquireLock(core int, line mem.LineAddr, si int) {
+	if int(d.locked[si]) == core {
 		return
 	}
-	e.lockedBy = core
-	d.held[core] = append(d.held[core], lockRef{line: line, e: e})
+	d.locked[si] = int32(core)
+	d.held[core] = append(d.held[core], line)
 	d.lockedLines++
 }
 
@@ -551,15 +629,15 @@ func (d *Directory) acquireLock(core int, line mem.LineAddr, e *entry) {
 // scheme re-issues from the core side.
 func (d *Directory) Unlock(core int, line mem.LineAddr) {
 	d.Stats.Unlocks++
-	e := d.entryFor(line)
-	if e.lockedBy != core {
-		panic(fmt.Sprintf("coherence: core %d unlocking line %s locked by %d", core, line, e.lockedBy))
+	si := d.slotFor(line)
+	if int(d.locked[si]) != core {
+		panic(fmt.Sprintf("coherence: core %d unlocking line %s locked by %d", core, line, d.locked[si]))
 	}
-	e.lockedBy = -1
+	d.locked[si] = -1
 	d.lockedLines--
 	held := d.held[core]
 	for i := range held {
-		if held[i].line == line {
+		if held[i] == line {
 			d.held[core] = append(held[:i], held[i+1:]...)
 			if d.obs != nil {
 				d.obs.OnUnlock(core, line)
@@ -572,17 +650,21 @@ func (d *Directory) Unlock(core int, line mem.LineAddr) {
 
 // UnlockAll releases every lock held by core (the bulk unlock at XEnd,
 // §5.1) and returns how many were released. It walks the per-core
-// held-locks list, so the cost is O(locks held) — independent of how many
-// lines the directory has ever tracked.
+// held-locks list, re-probing each line (an O(1) hit), so the cost is
+// O(locks held) — independent of how many lines the directory has ever
+// tracked.
 func (d *Directory) UnlockAll(core int) int {
 	held := d.held[core]
 	n := len(held)
-	for i := range held {
-		held[i].e.lockedBy = -1
-		if d.obs != nil {
-			d.obs.OnUnlock(core, held[i].line)
+	for _, line := range held {
+		si, ok := d.lookup(line)
+		if !ok {
+			panic(fmt.Sprintf("coherence: core %d held lock on untracked line %s", core, line))
 		}
-		held[i] = lockRef{} // drop the entry reference
+		d.locked[si] = -1
+		if d.obs != nil {
+			d.obs.OnUnlock(core, line)
+		}
 	}
 	d.held[core] = held[:0]
 	d.lockedLines -= n
@@ -593,17 +675,17 @@ func (d *Directory) UnlockAll(core int) int {
 // Evict removes core from line's sharer/owner sets (L1 replacement or
 // abort cleanup). Locked lines cannot be evicted.
 func (d *Directory) Evict(core int, line mem.LineAddr) {
-	e, ok := d.entries[line]
+	si, ok := d.lookup(line)
 	if !ok {
 		return
 	}
-	if e.lockedBy == core {
+	if int(d.locked[si]) == core {
 		panic(fmt.Sprintf("coherence: evicting locked line %s", line))
 	}
-	if e.owner == core {
-		e.owner = -1
+	if int(d.owner[si]) == core {
+		d.owner[si] = -1
 	}
-	e.sharers = e.sharers.Remove(core)
+	d.sharers[si] = d.sharers[si].Remove(core)
 	if d.obs != nil {
 		d.obs.OnEvict(core, line)
 	}
@@ -622,8 +704,6 @@ func (d *Directory) HeldLocks(core int) []mem.LineAddr {
 		return nil
 	}
 	lines := make([]mem.LineAddr, len(held))
-	for i, hl := range held {
-		lines[i] = hl.line
-	}
+	copy(lines, held)
 	return lines
 }

@@ -76,11 +76,14 @@ type LineState struct {
 }
 
 // ForEachLine calls fn with a snapshot of every line the directory tracks.
-// Iteration order is unspecified (map order); callers that need determinism
-// must sort. Intended for the invariant oracle's full-state audits, not for
-// the simulation hot path.
+// Iteration order is unspecified (slot order, a function of insertion
+// history); callers that need a canonical order must sort. Intended for the
+// invariant oracle's full-state audits, not for the simulation hot path.
 func (d *Directory) ForEachLine(fn func(LineState)) {
-	for line, e := range d.entries {
-		fn(LineState{Line: line, Owner: e.owner, Sharers: e.sharers, LockedBy: e.lockedBy})
+	for si, k := range d.keys {
+		if k == emptySlot {
+			continue
+		}
+		fn(LineState{Line: k, Owner: int(d.owner[si]), Sharers: d.sharers[si], LockedBy: int(d.locked[si])})
 	}
 }

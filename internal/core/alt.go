@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/lineset"
 	"repro/internal/mem"
 )
 
@@ -42,8 +43,12 @@ type ALTEntry struct {
 // that the locking walk follows the deadlock-free lexicographic order.
 type ALT struct {
 	entries []ALTEntry
-	index   map[mem.LineAddr]int
-	cap     int
+	// index maps a learned line to its row, in an epoch-cleared table so
+	// Reset (once per discovery attempt) is O(1) and allocation-free.
+	index lineset.LineMap
+	// lines is the scratch buffer Lines() refills; reused across attempts.
+	lines []mem.LineAddr
+	cap   int
 	// Overflowed is set when the footprint exceeded the table capacity;
 	// the AR is then non-convertible for this invocation.
 	Overflowed bool
@@ -58,31 +63,33 @@ func NewALTSized(capacity int) *ALT {
 	if capacity < 1 {
 		capacity = ALTEntries
 	}
-	return &ALT{index: make(map[mem.LineAddr]int, capacity), cap: capacity}
+	return &ALT{cap: capacity}
 }
 
 // Cap returns the table capacity.
 func (t *ALT) Cap() int { return t.cap }
 
-// Reset clears the table for a new discovery phase.
+// Reset clears the table for a new discovery phase. The entry array, the
+// index table, and the Lines scratch buffer are all retained as arenas for
+// the next AR.
 func (t *ALT) Reset() {
 	t.entries = t.entries[:0]
 	t.Overflowed = false
-	for k := range t.index {
-		delete(t.index, k)
-	}
+	t.index.Clear()
 }
 
 // Len returns the number of learned lines.
 func (t *ALT) Len() int { return len(t.entries) }
 
-// Lines returns the learned line addresses in lock order.
+// Lines returns the learned line addresses in lock order. The slice aliases
+// a scratch buffer reused by the next Lines call — callers must not retain
+// it (consumers are the discovery assessment and tests).
 func (t *ALT) Lines() []mem.LineAddr {
-	out := make([]mem.LineAddr, len(t.entries))
-	for i, e := range t.entries {
-		out[i] = e.Addr
+	t.lines = t.lines[:0]
+	for _, e := range t.entries {
+		t.lines = append(t.lines, e.Addr)
 	}
-	return out
+	return t.lines
 }
 
 // Entries exposes the table rows in lock order; the locking walk iterates
@@ -94,13 +101,13 @@ func (t *ALT) EntryAt(i int) *ALTEntry { return &t.entries[i] }
 
 // Contains reports whether line was learned.
 func (t *ALT) Contains(line mem.LineAddr) bool {
-	_, ok := t.index[line]
+	_, ok := t.index.Get(line)
 	return ok
 }
 
 // Written reports whether line was learned as written.
 func (t *ALT) Written(line mem.LineAddr) bool {
-	if i, ok := t.index[line]; ok {
+	if i, ok := t.index.Get(line); ok {
 		return t.entries[i].Written
 	}
 	return false
@@ -113,7 +120,7 @@ func (t *ALT) Record(line mem.LineAddr, set int, written bool) bool {
 	if t.Overflowed {
 		return false
 	}
-	if i, ok := t.index[line]; ok {
+	if i, ok := t.index.Get(line); ok {
 		if written {
 			t.entries[i].Written = true
 		}
@@ -135,7 +142,7 @@ func (t *ALT) Record(line mem.LineAddr, set int, written bool) bool {
 	t.entries[pos] = e
 	// Rebuild the index positions at and after the insertion point.
 	for i := pos; i < len(t.entries); i++ {
-		t.index[t.entries[i].Addr] = i
+		t.index.Set(t.entries[i].Addr, uint64(i))
 	}
 	return true
 }

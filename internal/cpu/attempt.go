@@ -27,25 +27,15 @@ func (c *Core) resetAttemptState() {
 		c.regs[ri.Reg] = ri.Val
 	}
 	c.indir = 0
-	for k := range c.readSet {
-		delete(c.readSet, k)
-	}
-	for k := range c.writeSet {
-		delete(c.writeSet, k)
-	}
+	c.readSet.Clear()
+	c.writeSet.Clear()
 	c.sq = c.sq[:0]
-	for k := range c.sqForward {
-		delete(c.sqForward, k)
-	}
+	c.sqForward.Clear()
 	c.pendingAbort = htm.AbortNone
 	c.attemptInstr = 0
 	c.attemptLoads = 0
-	for k := range c.touched {
-		delete(c.touched, k)
-	}
-	for k := range c.failedFetched {
-		delete(c.failedFetched, k)
-	}
+	c.touched.Clear()
+	c.failedFetched.Clear()
 }
 
 // beginAttempt dispatches the next attempt of the current invocation
@@ -151,7 +141,7 @@ func (c *Core) beginSpeculative() {
 	// that some thread entered the fallback path. The line is hot in the L1
 	// across transactions (only a fallback acquisition invalidates it), so
 	// the subscription is usually a cache hit.
-	c.readSet[c.m.Fallback.Line] = true
+	c.readSet.Add(c.m.Fallback.Line)
 	if c.l1.Access(c.m.Fallback.Line) {
 		c.engine().Schedule(c.m.Cfg.Lat.L1Hit, c.stepFn)
 		return
@@ -163,7 +153,7 @@ func (c *Core) beginSpeculative() {
 		// subscription did not register at the directory, so the attempt
 		// must not proceed — a missed fallback invalidation would break
 		// opacity. Treat it like any refused own-request.
-		delete(c.readSet, c.m.Fallback.Line)
+		c.readSet.Remove(c.m.Fallback.Line)
 		c.conflictOnOwnRequest()
 		return
 	}
@@ -214,11 +204,11 @@ func (c *Core) l1Insert(line mem.LineAddr) {
 		return
 	}
 	c.m.Dir.Evict(c.id, evicted)
-	if c.readSet[evicted] || c.writeSet[evicted] {
+	if c.readSet.Has(evicted) || c.writeSet.Has(evicted) {
 		// A tracked line fell out of the private cache: the speculative
 		// window is exhausted.
-		delete(c.readSet, evicted)
-		delete(c.writeSet, evicted)
+		c.readSet.Remove(evicted)
+		c.writeSet.Remove(evicted)
 		switch c.mode {
 		case ModeSpeculative:
 			c.signalAbort(htm.AbortCapacity)
@@ -230,8 +220,8 @@ func (c *Core) l1Insert(line mem.LineAddr) {
 
 // trackTouched feeds the Figure 1 footprint instrumentation.
 func (c *Core) trackTouched(line mem.LineAddr) {
-	if len(c.touched) <= fig1TrackLimit {
-		c.touched[line] = true
+	if c.touched.Len() <= fig1TrackLimit {
+		c.touched.Add(line)
 	}
 }
 
@@ -454,12 +444,8 @@ func (c *Core) commitSpeculative() {
 // clearTxSets drops the transactional read/write sets so remote requests no
 // longer treat this core as a conflicting holder.
 func (c *Core) clearTxSets() {
-	for k := range c.readSet {
-		delete(c.readSet, k)
-	}
-	for k := range c.writeSet {
-		delete(c.writeSet, k)
-	}
+	c.readSet.Clear()
+	c.writeSet.Clear()
 }
 
 // applySQ drains the store queue to memory in program order.
@@ -476,16 +462,6 @@ func (c *Core) finishInvocation() {
 	c.engine().Schedule(1, c.nextInvocationFn)
 }
 
-// clearLineSet empties a line-set map in place so its buckets are reused by
-// the next attempt instead of being reallocated. (The builtin clear is
-// shadowed in this package by the `clear "repro/internal/core"` import
-// alias, hence the helper.)
-func clearLineSet(m map[mem.LineAddr]bool) {
-	for k := range m {
-		delete(m, k)
-	}
-}
-
 // recordFig1Attempt updates the Figure 1 footprint-pair instrumentation at
 // the end of an attempt. The first aborted attempt captures the reference
 // footprint; the immediately following attempt completes the pair.
@@ -493,22 +469,22 @@ func (c *Core) recordFig1Attempt(committed bool) {
 	switch c.attempt {
 	case 0:
 		if !committed {
-			clearLineSet(c.fig1First)
-			for l := range c.touched {
-				c.fig1First[l] = true
+			c.fig1First.Clear()
+			for _, l := range c.touched.Lines() {
+				c.fig1First.Add(l)
 			}
 			c.fig1HasFirst = true
 		}
 	case 1:
-		if !c.fig1HasFirst || len(c.fig1First) == 0 || c.fig1HasRetry {
+		if !c.fig1HasFirst || c.fig1First.Len() == 0 || c.fig1HasRetry {
 			// No reference footprint: the first attempt aborted before
 			// touching memory (e.g. a fallback-lock invalidation at
 			// XBegin); such pairs say nothing about mutability.
 			return
 		}
-		clearLineSet(c.fig1Retry)
-		for l := range c.touched {
-			c.fig1Retry[l] = true
+		c.fig1Retry.Clear()
+		for _, l := range c.touched.Lines() {
+			c.fig1Retry.Add(l)
 		}
 		c.fig1HasRetry = true
 		c.m.Stats.RetryPairs++
@@ -523,15 +499,19 @@ func (c *Core) recordFig1Attempt(committed bool) {
 // touched exactly the same lines (when the retry ran to completion) or a
 // subset (when it aborted part-way, the strongest property observable).
 func (c *Core) fig1PairImmutable(retryCompleted bool) bool {
-	if len(c.fig1First) > clear.ALTEntries || len(c.fig1First) == 0 {
+	if c.fig1First.Len() > clear.ALTEntries || c.fig1First.Len() == 0 {
 		return false
 	}
-	for l := range c.fig1Retry {
-		if !c.fig1First[l] {
-			return false
+	subset := true
+	c.fig1Retry.ForEach(func(l mem.LineAddr) {
+		if !c.fig1First.Has(l) {
+			subset = false
 		}
+	})
+	if !subset {
+		return false
 	}
-	if retryCompleted && len(c.fig1Retry) != len(c.fig1First) {
+	if retryCompleted && c.fig1Retry.Len() != c.fig1First.Len() {
 		return false
 	}
 	return true

@@ -6,6 +6,7 @@ import (
 	clear "repro/internal/core"
 	"repro/internal/htm"
 	"repro/internal/isa"
+	"repro/internal/lineset"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -72,6 +73,19 @@ type Core struct {
 	m  *Machine
 	l1 *cache.Cache
 
+	// Hot attempt scalars, packed up front so the step prologue (abort
+	// check, instruction fetch, windowing) touches the struct's first
+	// cachelines instead of fields scattered behind the set tables.
+	mode         Mode
+	pc           int
+	pendingAbort htm.AbortReason
+	attemptInstr uint64
+	attemptLoads int
+	indir        uint32
+	power        bool
+	holdsReadLck bool
+	waitedOnLock bool
+
 	feed InvocationSource
 
 	// CLEAR structures (allocated even when CLEAR is off; simply unused).
@@ -92,12 +106,11 @@ type Core struct {
 	lastAssessed   bool
 	lastAssessment clear.Assessment
 
-	// Figure 1 instrumentation. The maps are allocated once per core and
-	// reused across invocations; the Has flags say whether the current
-	// invocation has filled them (a nil-map sentinel would force a fresh
-	// allocation per aborting invocation).
-	fig1First    map[mem.LineAddr]bool
-	fig1Retry    map[mem.LineAddr]bool
+	// Figure 1 instrumentation. The sets are epoch-cleared and reused
+	// across invocations; the Has flags say whether the current invocation
+	// has filled them.
+	fig1First    lineset.LineSet
+	fig1Retry    lineset.LineSet
 	fig1HasFirst bool
 	fig1HasRetry bool
 
@@ -105,31 +118,22 @@ type Core struct {
 	// (after think time), for the latency histogram.
 	invStart sim.Tick
 
-	// Attempt state.
-	mode         Mode
-	pc           int
-	regs         [isa.NumRegs]uint64
-	indir        uint32
-	readSet      map[mem.LineAddr]bool
-	writeSet     map[mem.LineAddr]bool
-	sq           []storeEntry
-	sqForward    map[mem.Addr]uint64
-	pendingAbort htm.AbortReason
-	attemptLoads int
-	power        bool
-	holdsReadLck bool
-	attemptInstr uint64
-	discStart    sim.Tick
-	waitedOnLock bool
+	// Attempt state (hot scalars live at the top of the struct).
+	regs      [isa.NumRegs]uint64
+	readSet   lineset.LineSet
+	writeSet  lineset.LineSet
+	sq        []storeEntry
+	sqForward lineset.AddrMap
+	discStart sim.Tick
 
 	// touched records the attempt's distinct lines for Figure 1 (bounded).
-	touched map[mem.LineAddr]bool
+	touched lineset.LineSet
 
 	// failedFetched caches lines already fetched by failed-mode loads in
 	// this attempt (they do not install into the coherent L1, but the data
 	// is at hand and re-reads cost a hit, §5.1 "loads are allowed to read
 	// from cache").
-	failedFetched map[mem.LineAddr]bool
+	failedFetched lineset.LineSet
 
 	// rng drives retry-backoff jitter; deterministic per (run seed, core).
 	rng *sim.RNG
@@ -158,20 +162,13 @@ type Core struct {
 
 func newCore(id int, m *Machine) *Core {
 	c := &Core{
-		id:            id,
-		m:             m,
-		l1:            cache.New(m.Cfg.L1),
-		ert:           clear.NewERTSized(m.Cfg.ERTEntries),
-		crt:           clear.NewCRTSized(m.Cfg.CRTEntries, m.Cfg.CRTWays),
-		disc:          clear.NewDiscoverySized(m.Cfg.ALTEntries),
-		readSet:       make(map[mem.LineAddr]bool),
-		writeSet:      make(map[mem.LineAddr]bool),
-		sqForward:     make(map[mem.Addr]uint64),
-		touched:       make(map[mem.LineAddr]bool),
-		fig1First:     make(map[mem.LineAddr]bool),
-		fig1Retry:     make(map[mem.LineAddr]bool),
-		failedFetched: make(map[mem.LineAddr]bool),
-		rng:           sim.NewRNG(m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1),
+		id:   id,
+		m:    m,
+		l1:   cache.New(m.Cfg.L1),
+		ert:  clear.NewERTSized(m.Cfg.ERTEntries),
+		crt:  clear.NewCRTSized(m.Cfg.CRTEntries, m.Cfg.CRTWays),
+		disc: clear.NewDiscoverySized(m.Cfg.ALTEntries),
+		rng:  sim.NewRNG(m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1),
 	}
 	c.stepFn = c.step
 	c.beginAttemptFn = c.beginAttempt
@@ -231,8 +228,8 @@ func (c *Core) signalAbort(r htm.AbortReason) {
 // OnRemoteRequest implements coherence.CoreHook: another core wants line.
 // This runs synchronously inside the requester's directory transaction.
 func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, attrs coherence.ReqAttrs) coherence.HolderResponse {
-	inRead := c.readSet[line]
-	inWrite := c.writeSet[line]
+	inRead := c.readSet.Has(line)
+	inWrite := c.writeSet.Has(line)
 	conflict := (isWrite && (inRead || inWrite)) || (!isWrite && inWrite)
 
 	if !conflict {
@@ -303,8 +300,8 @@ func (c *Core) OnRemoteRequest(line mem.LineAddr, isWrite bool, requester int, a
 func (c *Core) yieldLine(line mem.LineAddr, isWrite bool) coherence.HolderResponse {
 	if isWrite {
 		c.l1.Remove(line)
-		delete(c.readSet, line)
-		delete(c.writeSet, line)
+		c.readSet.Remove(line)
+		c.writeSet.Remove(line)
 	}
 	return coherence.HolderYields
 }
@@ -338,7 +335,7 @@ func (c *Core) noteConflictingRead(line mem.LineAddr) {
 	if !c.m.Cfg.CLEAR {
 		return
 	}
-	if !c.writeSet[line] {
+	if !c.writeSet.Has(line) {
 		c.crt.Insert(line)
 		c.m.Stats.CRTInsertions++
 	}

@@ -22,7 +22,7 @@ func (c *Core) effAddr(in isa.Instr) mem.Addr {
 // readData returns the value visible to this core at addr: its own buffered
 // store if one exists (store-to-load forwarding), else committed memory.
 func (c *Core) readData(addr mem.Addr) uint64 {
-	if v, ok := c.sqForward[addr]; ok {
+	if v, ok := c.sqForward.Get(addr); ok {
 		return v
 	}
 	return c.m.Mem.ReadWord(addr)
@@ -67,7 +67,7 @@ func (c *Core) completeStore(in isa.Instr, addr mem.Addr, indirection bool) {
 			return
 		}
 		c.sq = append(c.sq, storeEntry{addr: addr, val: val})
-		c.sqForward[addr] = val
+		c.sqForward.Set(addr, val)
 	}
 	line := addr.Line()
 	if c.m.probe != nil {
@@ -122,7 +122,19 @@ func (c *Core) doLoad(in isa.Instr) {
 	}
 	line := addr.Line()
 	indirection := c.indirOf(in.Src1)
-	c.trackTouched(line)
+	// A line already in the read set is already in the Figure 1 footprint
+	// set (every read-set insertion below follows a trackTouched, the
+	// fallback lock line is never a program address, and touched only grows
+	// within an attempt), so the common steady-state load costs exactly one
+	// table probe.
+	hasRS := false
+	switch c.mode {
+	case ModeSpeculative, ModeSCL:
+		hasRS = c.readSet.Has(line)
+	}
+	if !hasRS {
+		c.trackTouched(line)
+	}
 	c.m.Stats.L1Accesses++
 	c.attemptLoads++
 	if c.m.Cfg.SLE && c.attemptLoads > c.m.Cfg.LQEntries && c.speculationWindowed() {
@@ -137,11 +149,18 @@ func (c *Core) doLoad(in isa.Instr) {
 		// the hook — so a hit reads locally and only extends the local
 		// read set, exactly like read-set tracking in the L1 of a real
 		// HTM.
-		if c.readSet[line] || c.writeSet[line] || c.l1.Access(line) {
+		if hasRS {
 			if StrictChecks && !(c.m.Dir.Sharers(line).Has(c.id) || c.m.Dir.Owner(line) == c.id) {
 				panic(fmt.Sprintf("core %d silent read of %s without directory registration (tick %d)", c.id, line, c.engine().Now()))
 			}
-			c.readSet[line] = true
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
+			return
+		}
+		if c.writeSet.Has(line) || c.l1.Access(line) {
+			if StrictChecks && !(c.m.Dir.Sharers(line).Has(c.id) || c.m.Dir.Owner(line) == c.id) {
+				panic(fmt.Sprintf("core %d silent read of %s without directory registration (tick %d)", c.id, line, c.engine().Now()))
+			}
+			c.readSet.Add(line)
 			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
@@ -154,17 +173,17 @@ func (c *Core) doLoad(in isa.Instr) {
 			c.engine().Schedule(res.Latency, c.stepFn) // re-issue
 			return
 		}
-		c.readSet[line] = true
+		c.readSet.Add(line)
 		c.l1Insert(line)
 		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	case ModeFailedDiscovery:
-		if c.l1.Access(line) || c.failedFetched[line] {
+		if c.l1.Access(line) || c.failedFetched.Has(line) {
 			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
 		res := c.m.Dir.Read(c.id, line, coherence.ReqAttrs{FailedMode: true})
-		c.failedFetched[line] = true
+		c.failedFetched.Add(line)
 		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
 	case ModeSCL:
@@ -175,8 +194,12 @@ func (c *Core) doLoad(in isa.Instr) {
 		// requests are NACKed (§4.3 iii); conflicting remote requests to
 		// its speculative lines are NACKed by the holder hook instead of
 		// aborting it (§4.3 ii holds only in "-all-" mode).
-		if c.lineLockedByUs(line) || c.readSet[line] || c.writeSet[line] || c.l1.Access(line) {
-			c.readSet[line] = true
+		if hasRS {
+			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
+			return
+		}
+		if c.lineLockedByUs(line) || c.writeSet.Has(line) || c.l1.Access(line) {
+			c.readSet.Add(line)
 			c.scheduleLoadDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
@@ -195,7 +218,7 @@ func (c *Core) doLoad(in isa.Instr) {
 			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
-		c.readSet[line] = true
+		c.readSet.Add(line)
 		c.l1Insert(line)
 		c.scheduleLoadDone(res.Latency, in, addr, indirection)
 
@@ -237,15 +260,29 @@ func (c *Core) doStore(in isa.Instr) {
 	}
 	line := addr.Line()
 	indirection := c.indirOf(in.Src1)
-	c.trackTouched(line)
+	// Mirror of the doLoad fast path: a line already in the write set is
+	// already in touched, so the repeat store costs one probe.
+	hasWS := false
+	switch c.mode {
+	case ModeSpeculative, ModeSCL:
+		hasWS = c.writeSet.Has(line)
+	}
+	if !hasWS {
+		c.trackTouched(line)
+	}
 	c.m.Stats.L1Accesses++
 
 	switch c.mode {
 	case ModeSpeculative:
 		// Exclusive ownership (M/E in the L1) allows a silent local write;
-		// otherwise a GetX/upgrade goes to the directory.
-		if c.writeSet[line] || (c.m.Dir.Owner(line) == c.id && c.l1.Access(line)) {
-			c.writeSet[line] = true
+		// otherwise a GetX/upgrade goes to the directory. An already-written
+		// line needs no second write-set insertion.
+		if hasWS {
+			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
+			return
+		}
+		if c.m.Dir.Owner(line) == c.id && c.l1.Access(line) {
+			c.writeSet.Add(line)
 			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
@@ -258,7 +295,7 @@ func (c *Core) doStore(in isa.Instr) {
 			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
-		c.writeSet[line] = true
+		c.writeSet.Add(line)
 		c.l1Insert(line)
 		c.scheduleStoreDone(res.Latency, in, addr, indirection)
 
@@ -268,9 +305,13 @@ func (c *Core) doStore(in isa.Instr) {
 		c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 
 	case ModeSCL:
-		if c.lineLockedByUs(line) || c.writeSet[line] ||
+		if hasWS {
+			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
+			return
+		}
+		if c.lineLockedByUs(line) ||
 			(c.m.Dir.Owner(line) == c.id && c.l1.Access(line)) {
-			c.writeSet[line] = true
+			c.writeSet.Add(line)
 			c.scheduleStoreDone(c.m.Cfg.Lat.L1Hit, in, addr, indirection)
 			return
 		}
@@ -286,7 +327,7 @@ func (c *Core) doStore(in isa.Instr) {
 			c.engine().Schedule(res.Latency, c.stepFn)
 			return
 		}
-		c.writeSet[line] = true
+		c.writeSet.Add(line)
 		c.l1Insert(line)
 		c.scheduleStoreDone(res.Latency, in, addr, indirection)
 

@@ -1,0 +1,294 @@
+// Package lineset provides open-addressed, power-of-two hash containers
+// keyed by cacheline (or word) addresses, built for the simulator's hot
+// path. Two properties distinguish them from Go maps:
+//
+//   - Epoch-cleared: Clear bumps a generation counter instead of walking
+//     slots, so resetting a read/write/footprint set between atomic regions
+//     is O(1) and never re-allocates. A slot is live only when its mark
+//     equals the current epoch; stale slots from earlier epochs read as
+//     empty and are overwritten in place.
+//   - Deterministic iteration: a LineSet records first-insertion order per
+//     epoch and iterates in exactly that order, so any consumer that walks a
+//     set observes a sequence fully determined by the simulation's own
+//     (deterministic) access sequence — never Go map randomization.
+//
+// A LineSet interleaves each key with its epoch mark in one 16-byte slot so
+// a probe touches a single cacheline; probing is multiplicative hashing with
+// linear stride.
+// Tombstones (mark == epoch+1) support Remove without breaking probe
+// chains; a removed key keeps its slot for the rest of the epoch, which
+// also guarantees the insertion-order journal never holds duplicates.
+package lineset
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// minSlots is the initial table size: big enough that typical transactional
+// footprints (tens of lines) never grow, small enough to stay cache-resident.
+const minSlots = 64
+
+// hashMul is the 64-bit golden-ratio multiplier (Fibonacci hashing).
+const hashMul = 0x9e3779b97f4a7c15
+
+func hash64(k uint64, shift uint) uint64 {
+	return (k * hashMul) >> shift
+}
+
+// setSlot is one LineSet table slot: the key and its epoch mark share a
+// 16-byte cell, so a probe costs one cache access.
+type setSlot struct {
+	key  mem.LineAddr
+	mark uint64
+}
+
+// LineSet is an epoch-cleared open-addressed set of cacheline addresses.
+// The zero value is ready to use.
+type LineSet struct {
+	slots []setSlot
+	order []mem.LineAddr // first-insertion order for the current epoch
+	epoch uint64         // always even and >= 2 once initialized
+	live  int            // keys with mark == epoch
+	used  int            // keys with mark >= epoch (live + tombstones)
+	shift uint           // 64 - log2(len(slots))
+}
+
+func (s *LineSet) init() {
+	s.slots = make([]setSlot, minSlots)
+	s.epoch = 2
+	s.shift = uint(64 - bits.TrailingZeros(minSlots))
+}
+
+// Len reports the number of live keys.
+func (s *LineSet) Len() int { return s.live }
+
+// Clear empties the set in O(1) by advancing the epoch. Backing storage is
+// retained; the insertion-order journal is truncated in place.
+func (s *LineSet) Clear() {
+	s.epoch += 2
+	s.live = 0
+	s.used = 0
+	s.order = s.order[:0]
+}
+
+// Has reports whether k is in the set.
+func (s *LineSet) Has(k mem.LineAddr) bool {
+	if s.live == 0 {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := hash64(uint64(k), s.shift); ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.mark < s.epoch {
+			return false
+		}
+		if sl.key == k {
+			return sl.mark == s.epoch
+		}
+	}
+}
+
+// Add inserts k and reports whether it was absent. Re-adding a key removed
+// earlier in the same epoch revives its original slot.
+func (s *LineSet) Add(k mem.LineAddr) bool {
+	if s.slots == nil {
+		s.init()
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := hash64(uint64(k), s.shift)
+	for ; ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.mark < s.epoch {
+			break // empty or stale: insertion point
+		}
+		if sl.key == k {
+			if sl.mark == s.epoch {
+				return false // already present
+			}
+			// Tombstone of k: revive. Already journaled this epoch.
+			sl.mark = s.epoch
+			s.live++
+			return true
+		}
+	}
+	s.slots[i] = setSlot{key: k, mark: s.epoch}
+	s.live++
+	s.used++
+	s.order = append(s.order, k)
+	if s.used*4 >= len(s.slots)*3 {
+		s.grow()
+	}
+	return true
+}
+
+// Remove deletes k, reporting whether it was present. The slot becomes a
+// tombstone for the rest of the epoch so probe chains stay intact.
+func (s *LineSet) Remove(k mem.LineAddr) bool {
+	if s.live == 0 {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := hash64(uint64(k), s.shift); ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.mark < s.epoch {
+			return false
+		}
+		if sl.key == k {
+			if sl.mark != s.epoch {
+				return false
+			}
+			sl.mark = s.epoch + 1
+			s.live--
+			return true
+		}
+	}
+}
+
+// ForEach visits live keys in first-insertion order.
+func (s *LineSet) ForEach(f func(mem.LineAddr)) {
+	if s.live == s.used {
+		for _, k := range s.order {
+			f(k)
+		}
+		return
+	}
+	for _, k := range s.order {
+		if s.Has(k) {
+			f(k)
+		}
+	}
+}
+
+// Lines returns the live keys in first-insertion order. When nothing has
+// been removed this epoch the returned slice aliases internal storage and
+// is valid only until the next Clear/Add — callers must not retain it.
+func (s *LineSet) Lines() []mem.LineAddr {
+	if s.live == s.used {
+		return s.order
+	}
+	out := make([]mem.LineAddr, 0, s.live)
+	for _, k := range s.order {
+		if s.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// grow doubles the table, re-probing every current-epoch slot (tombstones
+// included, so the no-duplicate journal invariant survives the rehash).
+func (s *LineSet) grow() {
+	old := s.slots
+	n := len(old) * 2
+	s.slots = make([]setSlot, n)
+	s.shift = uint(64 - bits.Len(uint(n-1)))
+	mask := uint64(n - 1)
+	for _, sl := range old {
+		if sl.mark < s.epoch {
+			continue
+		}
+		i := hash64(uint64(sl.key), s.shift)
+		for s.slots[i].mark >= s.epoch {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = sl
+	}
+}
+
+// Map is an epoch-cleared open-addressed map from a uint64-shaped address
+// key to a uint64 value. It has no per-key delete (none of its consumers
+// delete); Clear is the only removal. The zero value is ready to use.
+type Map[K ~uint64] struct {
+	keys  []K
+	vals  []uint64
+	marks []uint64
+	epoch uint64
+	live  int
+	shift uint
+}
+
+// LineMap maps cacheline addresses to values.
+type LineMap = Map[mem.LineAddr]
+
+// AddrMap maps word addresses to values (the store-queue forwarding table).
+type AddrMap = Map[mem.Addr]
+
+func (m *Map[K]) init() {
+	m.keys = make([]K, minSlots)
+	m.vals = make([]uint64, minSlots)
+	m.marks = make([]uint64, minSlots)
+	m.epoch = 1
+	m.shift = uint(64 - bits.TrailingZeros(minSlots))
+}
+
+// Len reports the number of live entries.
+func (m *Map[K]) Len() int { return m.live }
+
+// Clear empties the map in O(1) by advancing the epoch.
+func (m *Map[K]) Clear() {
+	m.epoch++
+	m.live = 0
+}
+
+// Get returns the value for k and whether it is present.
+func (m *Map[K]) Get(k K) (uint64, bool) {
+	if m.live == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := hash64(uint64(k), m.shift); ; i = (i + 1) & mask {
+		if m.marks[i] != m.epoch {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// Set inserts or overwrites the value for k.
+func (m *Map[K]) Set(k K, v uint64) {
+	if m.keys == nil {
+		m.init()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := hash64(uint64(k), m.shift)
+	for ; m.marks[i] == m.epoch; i = (i + 1) & mask {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.marks[i] = m.epoch
+	m.live++
+	if m.live*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+}
+
+func (m *Map[K]) grow() {
+	oldKeys, oldVals, oldMarks := m.keys, m.vals, m.marks
+	n := len(oldKeys) * 2
+	m.keys = make([]K, n)
+	m.vals = make([]uint64, n)
+	m.marks = make([]uint64, n)
+	m.shift = uint(64 - bits.Len(uint(n-1)))
+	mask := uint64(n - 1)
+	for j, mk := range oldMarks {
+		if mk != m.epoch {
+			continue
+		}
+		k := oldKeys[j]
+		i := hash64(uint64(k), m.shift)
+		for m.marks[i] == m.epoch {
+			i = (i + 1) & mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldVals[j]
+		m.marks[i] = m.epoch
+	}
+}

@@ -1,0 +1,240 @@
+package lineset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// refSet is the map-based oracle: a Go map plus a first-insertion-order
+// journal, mirroring the semantics LineSet promises.
+type refSet struct {
+	m     map[mem.LineAddr]bool
+	order []mem.LineAddr
+}
+
+func newRefSet() *refSet { return &refSet{m: make(map[mem.LineAddr]bool)} }
+
+func (r *refSet) add(k mem.LineAddr) bool {
+	if r.m[k] {
+		return false
+	}
+	journaled := false
+	for _, o := range r.order {
+		if o == k {
+			journaled = true
+			break
+		}
+	}
+	if !journaled {
+		r.order = append(r.order, k)
+	}
+	r.m[k] = true
+	return true
+}
+
+func (r *refSet) remove(k mem.LineAddr) bool {
+	if !r.m[k] {
+		return false
+	}
+	delete(r.m, k)
+	return true
+}
+
+func (r *refSet) clear() {
+	r.m = make(map[mem.LineAddr]bool)
+	r.order = r.order[:0]
+}
+
+func (r *refSet) lines() []mem.LineAddr {
+	out := []mem.LineAddr{}
+	for _, k := range r.order {
+		if r.m[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestLineSetDifferential drives LineSet against the map oracle with a
+// randomized op mix: insert, lookup, remove, epoch-clear, and full
+// iteration-order comparison.
+func TestLineSetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC1EA4))
+	var s LineSet
+	ref := newRefSet()
+	// Small key space forces collisions, revivals, and duplicate adds.
+	key := func() mem.LineAddr { return mem.LineAddr(rng.Intn(97)) }
+	for op := 0; op < 200000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // add
+			k := key()
+			if got, want := s.Add(k), ref.add(k); got != want {
+				t.Fatalf("op %d: Add(%d) = %v, oracle %v", op, k, got, want)
+			}
+		case 4, 5, 6: // lookup
+			k := key()
+			if got, want := s.Has(k), ref.m[k]; got != want {
+				t.Fatalf("op %d: Has(%d) = %v, oracle %v", op, k, got, want)
+			}
+		case 7: // remove
+			k := key()
+			if got, want := s.Remove(k), ref.remove(k); got != want {
+				t.Fatalf("op %d: Remove(%d) = %v, oracle %v", op, k, got, want)
+			}
+		case 8: // epoch clear (rarely, so epochs grow long)
+			if rng.Intn(20) == 0 {
+				s.Clear()
+				ref.clear()
+			}
+		case 9: // iterate in deterministic order
+			got := s.Lines()
+			want := ref.lines()
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Lines len %d, oracle %d", op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: Lines[%d] = %d, oracle %d (order diverged)", op, i, got[i], want[i])
+				}
+			}
+			if s.Len() != len(want) {
+				t.Fatalf("op %d: Len %d, oracle %d", op, s.Len(), len(want))
+			}
+		}
+	}
+}
+
+// TestLineSetGrowth checks correctness across table growth with a wide key
+// space (no collisions masked by the tiny default table).
+func TestLineSetGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s LineSet
+	ref := newRefSet()
+	for i := 0; i < 5000; i++ {
+		k := mem.LineAddr(rng.Uint64() >> 6)
+		if got, want := s.Add(k), ref.add(k); got != want {
+			t.Fatalf("Add(%#x) = %v, oracle %v", k, got, want)
+		}
+	}
+	if s.Len() != len(ref.m) {
+		t.Fatalf("Len %d, oracle %d", s.Len(), len(ref.m))
+	}
+	got := s.Lines()
+	want := ref.lines()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lines[%d] = %#x, oracle %#x", i, got[i], want[i])
+		}
+	}
+	// Every inserted key must still be found after growth.
+	for k := range ref.m {
+		if !s.Has(k) {
+			t.Fatalf("Has(%#x) = false after growth", k)
+		}
+	}
+}
+
+// TestLineSetReviveAfterRemove exercises the tombstone-revival path: a key
+// removed and re-added in the same epoch must not duplicate in iteration.
+func TestLineSetReviveAfterRemove(t *testing.T) {
+	var s LineSet
+	s.Add(10)
+	s.Add(20)
+	s.Remove(10)
+	s.Add(10)
+	got := s.Lines()
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("Lines = %v, want [10 20] (first-insertion order, no duplicates)", got)
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Has(10) || s.Has(20) {
+		t.Fatal("Clear did not empty the set")
+	}
+	s.Add(20)
+	if got := s.Lines(); len(got) != 1 || got[0] != 20 {
+		t.Fatalf("Lines after clear = %v, want [20]", got)
+	}
+}
+
+// TestLineMapDifferential drives Map against a Go map oracle: set (insert
+// and overwrite), get, and epoch-clear.
+func TestLineMapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA17))
+	var m LineMap
+	ref := make(map[mem.LineAddr]uint64)
+	key := func() mem.LineAddr { return mem.LineAddr(rng.Intn(300)) }
+	for op := 0; op < 200000; op++ {
+		switch rng.Intn(8) {
+		case 0, 1, 2: // set
+			k, v := key(), rng.Uint64()
+			m.Set(k, v)
+			ref[k] = v
+		case 3, 4, 5, 6: // get
+			k := key()
+			gv, gok := m.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), oracle (%d,%v)", op, k, gv, gok, wv, wok)
+			}
+		case 7: // epoch clear
+			if rng.Intn(30) == 0 {
+				m.Clear()
+				ref = make(map[mem.LineAddr]uint64)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d, oracle %d", op, m.Len(), len(ref))
+		}
+	}
+}
+
+// footprint is a typical transactional working set: a couple dozen lines,
+// matching what readSet/writeSet hold per atomic region.
+var footprint = func() []mem.LineAddr {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]mem.LineAddr, 24)
+	for i := range out {
+		out[i] = mem.LineAddr(rng.Uint64() >> 6)
+	}
+	return out
+}()
+
+// BenchmarkLineSetAddClear measures the hot per-AR cycle — insert a
+// footprint, membership-test it, clear — for the epoch-cleared LineSet.
+func BenchmarkLineSetAddClear(b *testing.B) {
+	var s LineSet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range footprint {
+			s.Add(k)
+		}
+		for _, k := range footprint {
+			if !s.Has(k) {
+				b.Fatal("lost key")
+			}
+		}
+		s.Clear()
+	}
+}
+
+// BenchmarkLineSetAddClearMapRef is the map-based reference implementation
+// of the same cycle, so the win is measured, not asserted.
+func BenchmarkLineSetAddClearMapRef(b *testing.B) {
+	s := make(map[mem.LineAddr]bool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range footprint {
+			s[k] = true
+		}
+		for _, k := range footprint {
+			if !s[k] {
+				b.Fatal("lost key")
+			}
+		}
+		clear(s)
+	}
+}

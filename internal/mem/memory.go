@@ -1,13 +1,31 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
-// Memory is the simulated physical memory: a sparse map from cacheline to
-// its 8 words. Functional state lives here; timing and coherence live in the
-// cache and directory models. Reads of never-written lines return zeros,
-// like zero-filled pages.
+// Memory is the simulated physical memory. Functional state lives here;
+// timing and coherence live in the cache and directory models. Reads of
+// never-written lines return zeros, like zero-filled pages.
+//
+// Storage is a dense word array covering the allocator's arena [origin,
+// next): workloads allocate a contiguous region up front, so a flat slice
+// indexed by (addr-origin)/8 replaces the per-line map-of-pointer-to-array
+// layout that cost one heap node per touched cacheline and a hash probe per
+// access. Writes outside the arena (nothing in-tree produces them, but the
+// API allows any address) fall back to a sparse overflow map.
 type Memory struct {
-	lines map[LineAddr]*[WordsPerLine]uint64
+	// origin is the line-aligned start of the dense region; words[i] backs
+	// the address origin + i*WordSize.
+	origin Addr
+	words  []uint64
+	// lineW has one bit per dense line (set once the line has been written),
+	// so FootprintLines stays exact without a per-line structure.
+	lineW []uint64
+	// overflow holds lines written below origin or past the grown dense
+	// region; nil until needed.
+	overflow map[LineAddr]*[WordsPerLine]uint64
 
 	// next is the allocation cursor used by Alloc.
 	next Addr
@@ -21,9 +39,40 @@ func NewMemory(base Addr) *Memory {
 		panic("mem: unaligned allocator base")
 	}
 	return &Memory{
-		lines: make(map[LineAddr]*[WordsPerLine]uint64),
-		next:  base,
+		origin: base &^ Addr(LineSize-1),
+		next:   base,
 	}
+}
+
+const wordsPerLineShift = 3 // log2(WordsPerLine)
+
+// denseIndex returns the word index of a within the dense region, or ok=false
+// when a precedes the origin.
+func (m *Memory) denseIndex(a Addr) (int, bool) {
+	if a < m.origin {
+		return 0, false
+	}
+	return int((a - m.origin) / WordSize), true
+}
+
+// ensure grows the dense region to cover word index i (whole lines).
+func (m *Memory) ensure(i int) {
+	need := (i + WordsPerLine) &^ (WordsPerLine - 1)
+	if need <= len(m.words) {
+		return
+	}
+	if c := 2 * len(m.words); need < c {
+		need = c
+	}
+	if need < 8*WordsPerLine {
+		need = 8 * WordsPerLine
+	}
+	words := make([]uint64, need)
+	copy(words, m.words)
+	m.words = words
+	lineW := make([]uint64, (need>>wordsPerLineShift+63)/64)
+	copy(lineW, m.lineW)
+	m.lineW = lineW
 }
 
 // ReadWord returns the 64-bit word at a, which must be aligned.
@@ -31,11 +80,16 @@ func (m *Memory) ReadWord(a Addr) uint64 {
 	if !a.Aligned() {
 		panic(fmt.Sprintf("mem: unaligned read at %s", a))
 	}
-	line, ok := m.lines[a.Line()]
-	if !ok {
+	if i, ok := m.denseIndex(a); ok {
+		if i < len(m.words) {
+			return m.words[i]
+		}
 		return 0
 	}
-	return line[a.WordIndex()]
+	if line, ok := m.overflow[a.Line()]; ok {
+		return line[a.WordIndex()]
+	}
+	return 0
 }
 
 // WriteWord stores a 64-bit word at a, which must be aligned.
@@ -43,10 +97,22 @@ func (m *Memory) WriteWord(a Addr, v uint64) {
 	if !a.Aligned() {
 		panic(fmt.Sprintf("mem: unaligned write at %s", a))
 	}
-	line, ok := m.lines[a.Line()]
+	if i, ok := m.denseIndex(a); ok {
+		if i >= len(m.words) {
+			m.ensure(i)
+		}
+		m.words[i] = v
+		li := i >> wordsPerLineShift
+		m.lineW[li>>6] |= 1 << (uint(li) & 63)
+		return
+	}
+	if m.overflow == nil {
+		m.overflow = make(map[LineAddr]*[WordsPerLine]uint64)
+	}
+	line, ok := m.overflow[a.Line()]
 	if !ok {
 		line = new([WordsPerLine]uint64)
-		m.lines[a.Line()] = line
+		m.overflow[a.Line()] = line
 	}
 	line[a.WordIndex()] = v
 }
@@ -67,6 +133,11 @@ func (m *Memory) Alloc(size int, alignment int) Addr {
 	base := (m.next + mask) &^ mask
 	words := (size + WordSize - 1) / WordSize
 	m.next = base + Addr(words*WordSize)
+	// Pre-size the dense region to the arena high-water mark so steady-state
+	// writes never grow it.
+	if i, ok := m.denseIndex(m.next - WordSize); ok {
+		m.ensure(i)
+	}
 	return base
 }
 
@@ -81,7 +152,13 @@ func (m *Memory) AllocLine() Addr {
 }
 
 // FootprintLines reports how many distinct cachelines have been written.
-func (m *Memory) FootprintLines() int { return len(m.lines) }
+func (m *Memory) FootprintLines() int {
+	n := len(m.overflow)
+	for _, w := range m.lineW {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Snapshot copies the content of the given lines; used by the HTM model to
 // roll back speculative state on aborts when stores were drained (only the
@@ -90,11 +167,12 @@ func (m *Memory) FootprintLines() int { return len(m.lines) }
 func (m *Memory) Snapshot(lines []LineAddr) map[LineAddr][WordsPerLine]uint64 {
 	out := make(map[LineAddr][WordsPerLine]uint64, len(lines))
 	for _, l := range lines {
-		if data, ok := m.lines[l]; ok {
-			out[l] = *data
-		} else {
-			out[l] = [WordsPerLine]uint64{}
+		var data [WordsPerLine]uint64
+		a := l.Base()
+		for w := 0; w < WordsPerLine; w++ {
+			data[w] = m.ReadWord(a + Addr(w*WordSize))
 		}
+		out[l] = data
 	}
 	return out
 }
@@ -102,7 +180,9 @@ func (m *Memory) Snapshot(lines []LineAddr) map[LineAddr][WordsPerLine]uint64 {
 // Restore writes back a snapshot taken with Snapshot.
 func (m *Memory) Restore(snap map[LineAddr][WordsPerLine]uint64) {
 	for l, data := range snap {
-		copy := data
-		m.lines[l] = &copy
+		a := l.Base()
+		for w := 0; w < WordsPerLine; w++ {
+			m.WriteWord(a+Addr(w*WordSize), data[w])
+		}
 	}
 }

@@ -22,7 +22,10 @@
 //     arrays.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Tick is the simulated clock, measured in core cycles.
 type Tick uint64
@@ -48,12 +51,18 @@ func (a scheduledEvent) less(b scheduledEvent) bool {
 }
 
 // laneTicks is the fast-lane horizon: events with delay < laneTicks are
-// bucketed per tick instead of entering the heap. 64 covers the dominant
-// delays (0, 1, L1 hit, spin intervals, abort penalties) while keeping the
-// worst-case bucket scan trivial. Must be a power of two.
-const laneTicks = 64
+// bucketed per tick instead of entering the heap. 256 covers every latency
+// the memory hierarchy composes on the hot path — including a full memory
+// fetch (two crossbar links + directory + DRAM ≈ 137 ticks) — so the heap
+// only sees long think times, backoff tails, and watchdog timers. The
+// nonempty-bucket scan is a four-word bitmap walk, so widening the horizon
+// does not lengthen the search. Must be a power of two.
+const laneTicks = 256
 
 const laneMask = laneTicks - 1
+
+// laneWords is the occupancy bitmap size: one bit per bucket.
+const laneWords = laneTicks / 64
 
 // laneBucket is one tick's FIFO of near-future events. head indexes the
 // next event to pop; events append at the tail in sequence order, so a
@@ -72,7 +81,11 @@ type Engine struct {
 
 	// lane holds events with at in [now, now+laneTicks), indexed by
 	// at&laneMask; laneLen is the total number of events across buckets.
+	// occ has one bit per bucket (set while the bucket is nonempty), so
+	// finding the earliest pending tick is a short bitmap walk instead of
+	// a bucket-by-bucket scan.
 	lane    [laneTicks]laneBucket
+	occ     [laneWords]uint64
 	laneLen int
 
 	// heap is a binary min-heap (by scheduledEvent.less) of far-future
@@ -109,7 +122,11 @@ func (e *Engine) Schedule(delay Tick, call Event) {
 	e.seq++
 	ev := scheduledEvent{at: e.now + delay, seq: e.seq, call: call}
 	if delay < laneTicks {
-		b := &e.lane[int(ev.at)&laneMask]
+		idx := int(ev.at) & laneMask
+		b := &e.lane[idx]
+		if len(b.evs) == 0 {
+			e.occ[idx>>6] |= 1 << (uint(idx) & 63)
+		}
 		b.evs = append(b.evs, ev)
 		e.laneLen++
 		return
@@ -139,14 +156,27 @@ func (e *Engine) Pending() int { return e.laneLen + len(e.heap) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // nextLane returns the bucket holding the earliest lane event and its tick.
-// Only call with e.laneLen > 0; the scan is bounded by laneTicks and in the
-// common case hits the first bucket (an event due this tick).
+// Only call with e.laneLen > 0. The walk covers the occupancy bitmap once,
+// starting at now's bucket: the first word is masked to bits at or after
+// now, the wrapped-around revisit of that word to bits before it.
 func (e *Engine) nextLane() (*laneBucket, Tick) {
-	for t := e.now; ; t++ {
-		if b := &e.lane[int(t)&laneMask]; b.head < len(b.evs) {
-			return b, t
+	s := uint(e.now) & laneMask
+	w0, b0 := int(s>>6), s&63
+	for k := 0; k <= laneWords; k++ {
+		w := (w0 + k) & (laneWords - 1)
+		x := e.occ[w]
+		if k == 0 {
+			x &= ^uint64(0) << b0
+		} else if k == laneWords {
+			x &= uint64(1)<<b0 - 1
 		}
+		if x == 0 {
+			continue
+		}
+		idx := w<<6 + bits.TrailingZeros64(x)
+		return &e.lane[idx], e.now + Tick((uint(idx)-s)&laneMask)
 	}
+	panic("sim: laneLen > 0 but occupancy bitmap empty")
 }
 
 // nextAt returns the tick of the next event without popping it.
@@ -167,43 +197,75 @@ func (e *Engine) nextAt() (Tick, bool) {
 	return 0, false
 }
 
-// popNext removes and returns the globally next event in (tick, seq) order.
-func (e *Engine) popNext() (scheduledEvent, bool) {
-	if e.laneLen == 0 {
-		if len(e.heap) == 0 {
-			return scheduledEvent{}, false
-		}
-		return e.heapPop(), true
-	}
-	b, at := e.nextLane()
-	if len(e.heap) > 0 {
-		if top := &e.heap[0]; top.at < at || (top.at == at && top.seq < b.evs[b.head].seq) {
-			return e.heapPop(), true
-		}
-	}
-	ev := b.evs[b.head]
-	b.evs[b.head] = scheduledEvent{} // release the closure for GC
-	b.head++
-	if b.head == len(b.evs) {
-		// Drained: rewind, keeping the backing array for reuse.
-		b.evs = b.evs[:0]
-		b.head = 0
-	}
-	e.laneLen--
-	return ev, true
-}
-
-// Step executes the single next event and returns true, or returns false if
-// the queue is empty.
+// Step drains every event due at the next pending tick (one batch) and
+// returns true, or returns false if the queue is empty. Batching keeps the
+// scheduler out of the per-event path: the bucket for the tick is located
+// once and its FIFO consumed in place, with the (tick, seq) total order
+// preserved — far-future heap events that land on the same tick are
+// interleaved by sequence number, and events a callback schedules with zero
+// delay append to the same bucket and run within the batch. If Stop is
+// called mid-batch the remaining same-tick events stay queued; the next
+// Step resumes the same tick.
 func (e *Engine) Step() bool {
-	ev, ok := e.popNext()
-	if !ok {
+	var t Tick
+	if e.laneLen > 0 {
+		_, t = e.nextLane()
+		if len(e.heap) > 0 && e.heap[0].at < t {
+			t = e.heap[0].at
+		}
+	} else if len(e.heap) > 0 {
+		t = e.heap[0].at
+	} else {
 		return false
 	}
-	e.now = ev.at
-	e.Executed++
-	ev.call()
+	e.stepAt(t)
 	return true
+}
+
+// stepAt drains the batch due at tick t, which the caller has already
+// located (Step via its own scan, RunUntil via nextAt — sharing the scan
+// keeps the bitmap walk off the per-batch path twice).
+func (e *Engine) stepAt(t Tick) {
+	e.now = t
+	idx := int(t) & laneMask
+	b := &e.lane[idx]
+	// Whether the heap's minimum lands on this very tick is monotone within
+	// the batch: every pending heap event has at >= t, and a callback's
+	// far-future push lands at >= t+laneTicks, so the flag only changes at a
+	// heapPop — hoisting it keeps the heap peek off the per-event path.
+	heapSame := len(e.heap) > 0 && e.heap[0].at == t
+	for {
+		var ev scheduledEvent
+		if b.head < len(b.evs) {
+			ev = b.evs[b.head]
+			if heapSame && e.heap[0].seq < ev.seq {
+				ev = e.heapPop()
+				heapSame = len(e.heap) > 0 && e.heap[0].at == t
+			} else {
+				b.head++
+				if b.head == len(b.evs) {
+					// Drained: zero the consumed slots in one bulk clear so
+					// retired closures become garbage, then rewind, keeping
+					// the backing array for reuse.
+					clear(b.evs)
+					b.evs = b.evs[:0]
+					b.head = 0
+					e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+				}
+				e.laneLen--
+			}
+		} else if heapSame {
+			ev = e.heapPop()
+			heapSame = len(e.heap) > 0 && e.heap[0].at == t
+		} else {
+			return
+		}
+		e.Executed++
+		ev.call()
+		if e.stopped {
+			return
+		}
+	}
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -226,7 +288,7 @@ func (e *Engine) RunUntil(deadline Tick) bool {
 			e.now = deadline
 			return false
 		}
-		e.Step()
+		e.stepAt(at)
 	}
 	return e.Pending() == 0
 }

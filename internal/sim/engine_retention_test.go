@@ -31,8 +31,8 @@ func TestHeapPopReleasesEvents(t *testing.T) {
 }
 
 // TestLanePopReleasesEvents checks the same property for the fast-lane
-// buckets: a popped slot must be zeroed immediately (not merely when the
-// bucket is rewound), so closures become garbage as soon as they run.
+// buckets: consumed slots are bulk-cleared when a bucket drains and rewinds,
+// so no retired closure stays reachable through a bucket's backing array.
 func TestLanePopReleasesEvents(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 4*laneTicks; i++ {
@@ -98,4 +98,80 @@ func TestRetiredEventsAreCollectable(t *testing.T) {
 		}
 	}
 	t.Fatal("retired event closure still reachable: engine retains executed events")
+}
+
+// TestLaneBucketWrapAroundDrain exercises the batched bucket drain across a
+// full lane revolution: bucket index (t & laneMask) serves tick t and then
+// tick t+laneTicks, with a far-future heap event landing exactly on the
+// wrapped tick. The (tick, seq) total order must hold throughout — the heap
+// event, scheduled first, carries the lowest sequence number at the wrapped
+// tick and must interleave ahead of the lane events that arrive later — and
+// every bucket must release its slots once drained.
+func TestLaneBucketWrapAroundDrain(t *testing.T) {
+	e := NewEngine()
+	type rec struct {
+		at  Tick
+		tag int
+	}
+	var got []rec
+	note := func(tag int) Event {
+		return func() { got = append(got, rec{e.Now(), tag}) }
+	}
+
+	const base = 7
+	const wrapped = Tick(base + laneTicks) // same bucket index as base
+
+	// Delay >= laneTicks routes through the heap; this event lands on the
+	// wrapped tick with the lowest seq there.
+	e.Schedule(wrapped, note(100))
+
+	// A FIFO batch at tick base fills bucket index base the first time.
+	for i := 0; i < 3; i++ {
+		e.Schedule(base, note(i))
+	}
+	// Refill the same bucket one lane revolution later: a callback at
+	// base+laneTicks-1 schedules delay 1, landing at base+laneTicks — bucket
+	// index base again, now holding the wrapped tick.
+	e.Schedule(base, func() {
+		e.Schedule(laneTicks-1, func() {
+			got = append(got, rec{e.Now(), 50})
+			for i := 0; i < 3; i++ {
+				e.Schedule(1, note(200+i))
+			}
+		})
+	})
+
+	e.Run()
+
+	want := []rec{
+		{base, 0}, {base, 1}, {base, 2},
+		{base + laneTicks - 1, 50},
+		{wrapped, 100}, // heap event first: same tick, lowest seq
+		{wrapped, 200}, {wrapped, 201}, {wrapped, 202},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got {tick %d, tag %d}, want {tick %d, tag %d}\nfull order: %v",
+				i, got[i].at, got[i].tag, want[i].at, want[i].tag, got)
+		}
+	}
+
+	// After the drain every bucket is rewound and its backing array zeroed.
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	for b := range e.lane {
+		bucket := &e.lane[b]
+		if bucket.head != 0 || len(bucket.evs) != 0 {
+			t.Fatalf("bucket %d not rewound after drain: head=%d len=%d", b, bucket.head, len(bucket.evs))
+		}
+		for i, ev := range bucket.evs[:cap(bucket.evs)] {
+			if ev.call != nil {
+				t.Fatalf("bucket %d slot %d retains a closure after wrap-around drain", b, i)
+			}
+		}
+	}
 }

@@ -53,6 +53,25 @@ func (p ptrTable) targetSum(mm *mem.Memory) uint64 {
 // also maintain the benchmark's verification expectations.
 type kit struct {
 	mm *mem.Memory
+	// regBuf chunk-allocates the register-preset slices the generators
+	// produce. Every invocation of a run is retained together by the
+	// pre-generated SliceSource and dropped together, so carving presets out
+	// of shared chunks trades one heap node per invocation for one per
+	// regArenaChunk presets without changing any lifetime.
+	regBuf []cpu.RegInit
+}
+
+const regArenaChunk = 4096
+
+// regs copies the presets into the kit's arena and returns the stable
+// chunk-backed slice (capped so later appends cannot clobber a neighbour).
+func (k *kit) regs(pairs ...cpu.RegInit) []cpu.RegInit {
+	if len(k.regBuf)+len(pairs) > cap(k.regBuf) {
+		k.regBuf = make([]cpu.RegInit, 0, regArenaChunk)
+	}
+	n := len(k.regBuf)
+	k.regBuf = append(k.regBuf, pairs...)
+	return k.regBuf[n : n+len(pairs) : n+len(pairs)]
 }
 
 // genListInsert inserts a fresh node (val 1, for pop counting) into a
@@ -62,7 +81,7 @@ func (k *kit) genListInsert(prog *isa.Program, header mem.Addr, ledSlot mem.Addr
 		key := uint64(1 + rng.Intn(keyRange))
 		node := allocNode(k.mm, key, 0, 1)
 		*count++
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
 			cpu.RegInit{Reg: isa.R1, Val: key},
 			cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
@@ -75,7 +94,7 @@ func (k *kit) genListInsert(prog *isa.Program, header mem.Addr, ledSlot mem.Addr
 // decrementing the net ledger when it unlinks.
 func (k *kit) genListRemove(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, keyRange int) opGen {
 	return func(rng *sim.RNG) cpu.Invocation {
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
 			cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(keyRange))},
 			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
@@ -86,7 +105,7 @@ func (k *kit) genListRemove(prog *isa.Program, header mem.Addr, ledSlot mem.Addr
 // genListScan runs the Listing 3 counting traversal.
 func (k *kit) genListScan(prog *isa.Program, header mem.Addr, resultSlot mem.Addr, keyRange int) opGen {
 	return func(rng *sim.RNG) cpu.Invocation {
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
 			cpu.RegInit{Reg: isa.R1, Val: uint64(1 + rng.Intn(keyRange))},
 			cpu.RegInit{Reg: isa.R2, Val: uint64(resultSlot)},
@@ -100,7 +119,7 @@ func (k *kit) genPush(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, coun
 	return func(rng *sim.RNG) cpu.Invocation {
 		node := allocNode(k.mm, uint64(1+rng.Intn(64)), 0, 1)
 		*count++
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
 			cpu.RegInit{Reg: isa.R1, Val: 1}, // unit value for counting
 			cpu.RegInit{Reg: isa.R2, Val: uint64(node)},
@@ -113,7 +132,7 @@ func (k *kit) genPush(prog *isa.Program, header mem.Addr, ledSlot mem.Addr, coun
 // the node's (unit) value.
 func (k *kit) genPop(prog *isa.Program, header mem.Addr, ledSlot mem.Addr) opGen {
 	return func(rng *sim.RNG) cpu.Invocation {
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(header)},
 			cpu.RegInit{Reg: isa.R3, Val: uint64(ledSlot)},
 		)}
@@ -125,13 +144,14 @@ func (k *kit) genPop(prog *isa.Program, header mem.Addr, ledSlot mem.Addr) opGen
 func (k *kit) genPtrRMW(prog *isa.Program, pt ptrTable, nPtrs, amountMax int, expect *uint64) opGen {
 	return func(rng *sim.RNG) cpu.Invocation {
 		amount := uint64(1 + rng.Intn(amountMax))
-		rs := regs(cpu.RegInit{Reg: isa.R5, Val: amount})
+		var buf [1 + isa.NumRegs]cpu.RegInit
+		buf[0] = cpu.RegInit{Reg: isa.R5, Val: amount}
 		for i := 0; i < nPtrs; i++ {
 			slot := rng.Intn(len(pt.targets))
-			rs = append(rs, cpu.RegInit{Reg: isa.Reg(i), Val: uint64(pt.slotAddr(slot))})
+			buf[1+i] = cpu.RegInit{Reg: isa.Reg(i), Val: uint64(pt.slotAddr(slot))}
 		}
 		*expect += amount * uint64(nPtrs)
-		return cpu.Invocation{Prog: prog, Regs: rs}
+		return cpu.Invocation{Prog: prog, Regs: k.regs(buf[:1+nPtrs]...)}
 	}
 }
 
@@ -141,7 +161,7 @@ func (k *kit) genAddDirect(prog *isa.Program, slots []mem.Addr, amountMax int, e
 	return func(rng *sim.RNG) cpu.Invocation {
 		amount := uint64(1 + rng.Intn(amountMax))
 		*expect += amount
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(slots[rng.Intn(len(slots))])},
 			cpu.RegInit{Reg: isa.R1, Val: amount},
 		)}
@@ -154,7 +174,7 @@ func (k *kit) genStrided(prog *isa.Program, bases []mem.Addr, n, amountMax int, 
 	return func(rng *sim.RNG) cpu.Invocation {
 		amount := uint64(1 + rng.Intn(amountMax))
 		*expect += amount * uint64(n)
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(bases[rng.Intn(len(bases))])},
 			cpu.RegInit{Reg: isa.R2, Val: amount},
 		)}
@@ -172,7 +192,7 @@ func (k *kit) genBulkRoute(prog *isa.Program, cells []mem.Addr, minLen, maxLen i
 			k.mm.WriteWord(route+mem.Addr(i*8), uint64(cells[rng.Intn(len(cells))]))
 		}
 		*expect += uint64(n)
-		return cpu.Invocation{Prog: prog, Regs: regs(
+		return cpu.Invocation{Prog: prog, Regs: k.regs(
 			cpu.RegInit{Reg: isa.R0, Val: uint64(route)},
 			cpu.RegInit{Reg: isa.R1, Val: uint64(n)},
 		)}
