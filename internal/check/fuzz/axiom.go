@@ -1,0 +1,92 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// GenTagged generates a fuzz case tailored for the axiomatic oracle: every
+// store writes a globally unique immediate value (tags start at
+// tagBase, far above the initial pool data), every program is referenced by
+// exactly one invocation, and no access touches word 0 (the pointer slot).
+// Unique values make reads-from resolution by value exact — the litmus
+// checker reconstructs rf/co/fr with zero ambiguous loads, so its verdict is
+// a full, not conservative, second oracle for these cases.
+//
+// Like Gen, the generation is a pure function of the seed.
+func GenTagged(seed uint64) *Case {
+	rng := sim.NewRNG(seed*0x9e3779b97f4a7c15 + 0xa11)
+	c := &Case{Seed: seed}
+
+	// Few lines, many cores: maximal contention on the tagged addresses.
+	nPool := 2 + rng.Intn(2)
+	c.Pool = make([]PoolLine, nPool)
+	for i := range c.Pool {
+		c.Pool[i].Ptr = rng.Intn(nPool)
+		for w := range c.Pool[i].Data {
+			c.Pool[i].Data[w] = uint64(rng.Intn(256))
+		}
+	}
+
+	nCores := 2 + rng.Intn(3)
+	c.Invs = make([][]Invocation, nCores)
+	tag := uint64(tagBase)
+	for core := range c.Invs {
+		nOps := 2 + rng.Intn(3)
+		invs := make([]Invocation, nOps)
+		for k := range invs {
+			prog := genTaggedProgram(len(c.Progs)+1, rng, &tag)
+			c.Progs = append(c.Progs, prog)
+			invs[k] = Invocation{
+				Prog:  len(c.Progs) - 1,
+				Think: sim.Tick(rng.Intn(64)),
+				Regs:  taggedRegs(rng, nPool),
+			}
+		}
+		c.Invs[core] = invs
+	}
+	return c
+}
+
+// tagBase is the first tagged store value; initial pool data stays below it,
+// so a loaded tag identifies its writing store uniquely.
+const tagBase = 1000
+
+// taggedRegs presets the two pointer registers tagged programs address
+// through.
+func taggedRegs(rng *sim.RNG, nPool int) []cpu.RegInit {
+	return []cpu.RegInit{
+		{Reg: isa.R0, Val: uint64(poolLineBase(rng.Intn(nPool)))},
+		{Reg: isa.R1, Val: uint64(poolLineBase(rng.Intn(nPool)))},
+	}
+}
+
+// genTaggedProgram builds a straight-line AR of loads and uniquely-tagged
+// stores over words 1..7 (never the pointer slot).
+func genTaggedProgram(id int, rng *sim.RNG, tag *uint64) *isa.Program {
+	nMem := 2 + rng.Intn(4)
+	code := make([]isa.Instr, 0, nMem*2+1)
+	ptr := []isa.Reg{isa.R0, isa.R1}
+	for i := 0; i < nMem; i++ {
+		off := int64((1 + rng.Intn(7)) * mem.WordSize)
+		base := ptr[rng.Intn(len(ptr))]
+		if rng.Intn(2) == 0 {
+			code = append(code,
+				isa.Instr{Op: isa.OpLoadImm, Dst: isa.R4, Imm: int64(*tag)},
+				isa.Instr{Op: isa.OpStore, Src1: base, Src2: isa.R4, Imm: off})
+			*tag++
+		} else {
+			code = append(code, isa.Instr{Op: isa.OpLoad, Dst: isa.R5, Src1: base, Imm: off})
+		}
+	}
+	code = append(code, isa.Instr{Op: isa.OpHalt})
+	p := &isa.Program{ID: id, Name: fmt.Sprintf("fuzz/tagged%d", id), Code: code}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fuzz: generated invalid tagged program: %v", err))
+	}
+	return p
+}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -8,8 +9,10 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/isa"
+	"repro/internal/litmus"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config selects one of the four evaluated configurations (§7 of the paper).
@@ -57,6 +60,16 @@ type Opts struct {
 	// (cpu.SystemConfig.InjectSecondSpecRetry); only meaningful for the
 	// CLEAR configs C and W.
 	Inject bool
+	// InjectLostInv enables the deliberate conflict-detection bug
+	// (cpu.SystemConfig.InjectLostInvalidation): a speculative holder yields
+	// a line without aborting. The axiomatic checker catches the resulting
+	// ordering corruption even on runs whose final memory matches the serial
+	// replay.
+	InjectLostInv bool
+	// Axiomatic additionally records a memory-access trace of the run and
+	// feeds it to the internal/litmus axiomatic checker — a second,
+	// independent oracle over the same execution (Result.Axiom).
+	Axiomatic bool
 	// Plan, when non-nil, attaches the internal/fault injector to every
 	// run, so the differential serial-replay check also validates the
 	// machine under environmental perturbation. The injector's own seed is
@@ -77,13 +90,17 @@ type Result struct {
 	// Mismatch describes a differential failure (simulated final memory vs
 	// serial replay in commit order); empty when the state serializes.
 	Mismatch string
+	// Axiom is the litmus axiomatic checker's verdict over the run's trace
+	// (Opts.Axiomatic); nil when the axiomatic oracle was off.
+	Axiom *litmus.Verdict
 	// RunErr is a machine-level failure (deadlock, livelock, tick budget).
 	RunErr error
 }
 
 // Failed reports whether the result shows any problem.
 func (r Result) Failed() bool {
-	return r.ViolationCount > 0 || r.Mismatch != "" || r.RunErr != nil
+	return r.ViolationCount > 0 || r.Mismatch != "" || r.RunErr != nil ||
+		(r.Axiom != nil && !r.Axiom.OK())
 }
 
 func (r Result) String() string {
@@ -104,6 +121,9 @@ func (r Result) String() string {
 	if r.Mismatch != "" {
 		fmt.Fprintf(&b, "\n  differential mismatch: %s", r.Mismatch)
 	}
+	if r.Axiom != nil && !r.Axiom.OK() {
+		fmt.Fprintf(&b, "\n  axiomatic: %s", strings.ReplaceAll(r.Axiom.String(), "\n", "\n  "))
+	}
 	return b.String()
 }
 
@@ -122,6 +142,7 @@ func (c Config) systemConfig(cs *Case, opts Opts) cpu.SystemConfig {
 	cfg.PowerTM = c == ConfigP || c == ConfigW
 	cfg.Seed = cs.Seed*4 + uint64(c) + 1
 	cfg.InjectSecondSpecRetry = opts.Inject
+	cfg.InjectLostInvalidation = opts.InjectLostInv
 	return cfg
 }
 
@@ -164,6 +185,20 @@ func RunCase(cs *Case, cfg Config, opts Opts) Result {
 		return res
 	}
 	oracle := check.Attach(machine)
+	var traceBuf bytes.Buffer
+	var tracer *trace.Tracer
+	if opts.Axiomatic {
+		tracer, err = trace.Attach(machine, &traceBuf, trace.Options{
+			Benchmark:   "fuzz",
+			Config:      cfg.String(),
+			Seed:        cs.Seed,
+			MemAccesses: true,
+		})
+		if err != nil {
+			res.RunErr = err
+			return res
+		}
+	}
 	// The injector attaches after the oracle: the oracle observes the
 	// perturbed run and must still find it invariant-clean — faults may
 	// delay or refuse, never corrupt.
@@ -188,7 +223,52 @@ func RunCase(cs *Case, cfg Config, opts Opts) Result {
 	if res.RunErr == nil {
 		res.Mismatch = diffReplay(cs, oracle.CommitLog(), poolImage(memory, cs))
 	}
+	if tracer != nil && res.RunErr == nil {
+		res.Axiom, res.RunErr = axiomCheck(cs, tracer, &traceBuf)
+	}
 	return res
+}
+
+// axiomCheck closes the tracer and runs the litmus axiomatic checker over
+// the recorded stream, resolving initial reads against the case's pool
+// image.
+func axiomCheck(cs *Case, tracer *trace.Tracer, buf *bytes.Buffer) (*litmus.Verdict, error) {
+	if err := tracer.Close(); err != nil {
+		return nil, err
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	events, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	v := litmus.CheckEvents(events, litmus.CheckOpts{Initial: poolInitial(cs)})
+	return &v, nil
+}
+
+// poolInitial maps an address onto the case's initial pool image (what
+// initPool wrote): word 0 of line i points at line Ptr, words 1..7 hold the
+// data values. Addresses outside the pool start zero.
+func poolInitial(cs *Case) func(mem.Addr) uint64 {
+	return func(a mem.Addr) uint64 {
+		if a < PoolBase {
+			return 0
+		}
+		i := int((a - PoolBase) / mem.LineSize)
+		if i >= len(cs.Pool) {
+			return 0
+		}
+		w := int(a%mem.LineSize) / mem.WordSize
+		if w == 0 {
+			return uint64(poolLineBase(cs.Pool[i].Ptr))
+		}
+		if w-1 < len(cs.Pool[i].Data) {
+			return cs.Pool[i].Data[w-1]
+		}
+		return 0
+	}
 }
 
 func regInits(rs []cpu.RegInit) []cpu.RegInit { return append([]cpu.RegInit(nil), rs...) }

@@ -1,0 +1,127 @@
+package cpu
+
+import (
+	"testing"
+
+	clear "repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// TestDecideRetryMode pins the full §4.3 next-mode decision table (Figure 2):
+// every (executing mode, abort reason, discovery state) row of the tree,
+// driven directly through decideRetryMode on a constructed core. A change to
+// the retry policy must show up here as an explicit row edit.
+func TestDecideRetryMode(t *testing.T) {
+	type discState int
+	const (
+		discNone       discState = iota // discovery untouched
+		discImmutable                   // complete, no indirection
+		discIndirected                  // complete, indirection observed
+		discSQOverflow                  // window overflow
+		discIncomplete                  // never reached the AR end
+	)
+	cases := []struct {
+		name   string
+		clear  bool
+		inject bool // SystemConfig.InjectSecondSpecRetry
+		mode   Mode
+		reason htm.AbortReason
+		disc   discState
+		want   clear.RetryMode
+		// wantNonconv asserts the ERT entry was marked non-convertible.
+		wantNonconv bool
+		// wantAssessed asserts the discovery assessment ran.
+		wantAssessed bool
+	}{
+		// CLEAR off: plain HTM retries speculatively until capacity.
+		{name: "off/spec/conflict", mode: ModeSpeculative, reason: htm.AbortMemoryConflict,
+			want: clear.RetrySpeculative},
+		{name: "off/spec/capacity", mode: ModeSpeculative, reason: htm.AbortCapacity,
+			want: clear.RetryFallback},
+		{name: "off/spec/explicit", mode: ModeSpeculative, reason: htm.AbortExplicit,
+			want: clear.RetrySpeculative},
+
+		// CLEAR, speculative attempt aborted before discovery completed.
+		{name: "spec/capacity", clear: true, mode: ModeSpeculative, reason: htm.AbortCapacity,
+			want: clear.RetryFallback, wantNonconv: true},
+		{name: "spec/explicit", clear: true, mode: ModeSpeculative, reason: htm.AbortExplicit,
+			want: clear.RetrySpeculative, wantNonconv: true},
+		{name: "spec/conflict", clear: true, mode: ModeSpeculative, reason: htm.AbortMemoryConflict,
+			want: clear.RetrySpeculative},
+
+		// CLEAR, failed-discovery attempt: the hierarchical assessment picks
+		// the CL mode (§4.1): immutable ⇒ NS-CL, indirected ⇒ S-CL,
+		// window overflow or incomplete ⇒ speculative again.
+		{name: "disc/immutable", clear: true, mode: ModeFailedDiscovery, reason: htm.AbortMemoryConflict,
+			disc: discImmutable, want: clear.RetryNSCL, wantAssessed: true},
+		{name: "disc/indirected", clear: true, mode: ModeFailedDiscovery, reason: htm.AbortMemoryConflict,
+			disc: discIndirected, want: clear.RetrySCL, wantAssessed: true},
+		{name: "disc/sq-overflow", clear: true, mode: ModeFailedDiscovery, reason: htm.AbortMemoryConflict,
+			disc: discSQOverflow, want: clear.RetrySpeculative, wantNonconv: true, wantAssessed: true},
+		{name: "disc/incomplete", clear: true, mode: ModeFailedDiscovery, reason: htm.AbortMemoryConflict,
+			disc: discIncomplete, want: clear.RetrySpeculative, wantAssessed: true},
+
+		// The planted single-retry bug: injection overrides a convertible
+		// assessment with a second plain speculative retry.
+		{name: "disc/inject-second-spec", clear: true, inject: true, mode: ModeFailedDiscovery,
+			reason: htm.AbortMemoryConflict, disc: discImmutable,
+			want: clear.RetrySpeculative, wantAssessed: true},
+
+		// CLEAR, S-CL attempt: a memory conflict means the CRT learned the
+		// conflicting read — retry S-CL with the wider lock set; anything
+		// else (deviation) rediscovers.
+		{name: "scl/conflict", clear: true, mode: ModeSCL, reason: htm.AbortMemoryConflict,
+			disc: discIndirected, want: clear.RetrySCL},
+		{name: "scl/deviation", clear: true, mode: ModeSCL, reason: htm.AbortExplicit,
+			want: clear.RetrySpeculative},
+
+		// CLEAR, NS-CL attempt: a refused lock walk retries NS-CL; a
+		// deviation (immutability misprediction) rediscovers.
+		{name: "nscl/conflict", clear: true, mode: ModeNSCL, reason: htm.AbortMemoryConflict,
+			want: clear.RetryNSCL},
+		{name: "nscl/deviation", clear: true, mode: ModeNSCL, reason: htm.AbortExplicit,
+			want: clear.RetrySpeculative},
+
+		// Any other mode (e.g. fallback bookkeeping) retries speculatively.
+		{name: "fallback/conflict", clear: true, mode: ModeFallback, reason: htm.AbortMemoryConflict,
+			want: clear.RetrySpeculative},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultSystemConfig()
+			cfg.Cores = 2
+			cfg.CLEAR = tc.clear
+			cfg.InjectSecondSpecRetry = tc.inject
+			m, err := NewMachine(cfg, mem.NewMemory(0x10000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := m.Cores[0]
+			c.mode = tc.mode
+			c.ertEntry = &clear.ERTEntry{IsConvertible: true}
+
+			switch tc.disc {
+			case discNone:
+			default:
+				c.disc.Begin()
+				c.disc.RecordAccess(mem.LineAddr(0x40), 0, true, tc.disc == discIndirected)
+				c.disc.ReachedEnd = tc.disc != discIncomplete
+				c.disc.SQOverflow = tc.disc == discSQOverflow
+			}
+
+			c.decideRetryMode(tc.reason)
+
+			if c.retryMode != tc.want {
+				t.Errorf("retryMode = %v, want %v", c.retryMode, tc.want)
+			}
+			if gotNonconv := !c.ertEntry.IsConvertible; gotNonconv != tc.wantNonconv {
+				t.Errorf("ERT non-convertible = %v, want %v", gotNonconv, tc.wantNonconv)
+			}
+			if c.lastAssessed != tc.wantAssessed {
+				t.Errorf("assessment ran = %v, want %v", c.lastAssessed, tc.wantAssessed)
+			}
+		})
+	}
+}

@@ -101,6 +101,16 @@ type SystemConfig struct {
 	// must be caught by the internal/check oracle; it exists to prove the
 	// oracle can detect exactly this class of bug. Never set outside tests.
 	InjectSecondSpecRetry bool
+	// InjectLostInvalidation deliberately breaks conflict detection for
+	// fault-injection testing: a speculative holder hit by a conflicting
+	// remote request yields the line *without* aborting, so it can commit
+	// having read data that was concurrently overwritten. The final memory
+	// image can still match a serial replay (the writer's store lands
+	// either way), which is exactly the class of ordering bug the
+	// internal/litmus axiomatic checker exists to catch — the lost
+	// invalidation shows up as an fr/co cycle in the extracted execution
+	// graph. Never set outside tests.
+	InjectLostInvalidation bool
 }
 
 // DefaultSystemConfig mirrors Table 2 with CLEAR and PowerTM off

@@ -1,0 +1,204 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Synthetic committed executions exercise the checker without a machine:
+// each case hand-builds the CommittedARs a trace would yield.
+
+const (
+	synX = mem.Addr(0x20000)
+	synY = mem.Addr(0x20040)
+)
+
+func ld(a mem.Addr, v uint64) trace.MemAccess {
+	return trace.MemAccess{Addr: a, Value: v}
+}
+
+func st(a mem.Addr, v uint64) trace.MemAccess {
+	return trace.MemAccess{Addr: a, Value: v, IsWrite: true}
+}
+
+func mkAR(core, seq int, accs ...trace.MemAccess) trace.CommittedAR {
+	for i := range accs {
+		accs[i].Seq = seq*100 + i
+		accs[i].Tick = sim.Tick(seq*100 + i)
+	}
+	return trace.CommittedAR{
+		Core: core, ProgID: seq + 1, Mode: cpu.ModeSpeculative,
+		CommitSeq: seq, CommitTick: sim.Tick(seq * 100),
+		Accesses: accs,
+	}
+}
+
+func violationKinds(v Verdict) []string {
+	var out []string
+	for _, vi := range v.Violations {
+		out = append(out, vi.Kind)
+	}
+	return out
+}
+
+// TestCheckCleanExecution: a serialized MP execution conforms.
+func TestCheckCleanExecution(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(synX, 1), st(synY, 1)),
+		mkAR(1, 1, ld(synY, 1), ld(synX, 1)),
+	}, CheckOpts{})
+	if !v.OK() {
+		t.Fatalf("clean execution flagged: %s", v)
+	}
+	if v.ARs != 2 || v.Loads != 2 || v.Stores != 2 {
+		t.Fatalf("counts: %+v", v)
+	}
+}
+
+// TestCheckLostInvalidationCycle: the SB-shaped execution a lost
+// invalidation produces — both regions committed reading the initial
+// values — must yield a serializability cycle of two fr edges, even though
+// the final memory (x=1, y=1) matches a serial replay.
+func TestCheckLostInvalidationCycle(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(synX, 1), ld(synY, 0)),
+		mkAR(1, 1, st(synY, 1), ld(synX, 0)),
+	}, CheckOpts{})
+	if v.OK() {
+		t.Fatal("stale-read execution passed the checker")
+	}
+	kinds := violationKinds(v)
+	if len(kinds) != 1 || kinds[0] != KindSerializability {
+		t.Fatalf("violations %v, want exactly [%s]", kinds, KindSerializability)
+	}
+	cyc := v.Violations[0].Cycle
+	if len(cyc) != 2 {
+		t.Fatalf("witness cycle has %d edges, want the minimal 2:\n%s", len(cyc), strings.Join(cyc, "\n"))
+	}
+	for _, e := range cyc {
+		if !strings.Contains(e, "--fr[") {
+			t.Errorf("expected fr edge, got %q", e)
+		}
+	}
+}
+
+// TestCheckCoherenceCycle: a read-read inversion (CoRR) inside one region
+// is a per-location po-loc ∪ rf ∪ co ∪ fr cycle.
+func TestCheckCoherenceCycle(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(synX, 1)),
+		mkAR(1, 1, ld(synX, 1), ld(synX, 0)),
+	}, CheckOpts{})
+	if v.OK() {
+		t.Fatal("CoRR inversion passed the checker")
+	}
+	found := false
+	for _, vi := range v.Violations {
+		if vi.Kind == KindCoherence {
+			found = true
+			if len(vi.Cycle) == 0 {
+				t.Error("coherence violation carries no witness cycle")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no coherence violation among %v", violationKinds(v))
+	}
+}
+
+// TestCheckForwardingViolation: a load after the region's own store must
+// observe it (store-queue forwarding).
+func TestCheckForwardingViolation(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(synX, 5), ld(synX, 7)),
+	}, CheckOpts{})
+	kinds := violationKinds(v)
+	if len(kinds) == 0 || kinds[0] != KindForwarding {
+		t.Fatalf("violations %v, want %s first", kinds, KindForwarding)
+	}
+}
+
+// TestCheckThinAirRead: a value no store wrote and that is not initial.
+func TestCheckThinAirRead(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, ld(synX, 9)),
+	}, CheckOpts{})
+	kinds := violationKinds(v)
+	if len(kinds) != 1 || kinds[0] != KindThinAir {
+		t.Fatalf("violations %v, want [%s]", kinds, KindThinAir)
+	}
+}
+
+// TestCheckInitialImage: with a non-zero initial image the same load is an
+// init read and conforms.
+func TestCheckInitialImage(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, ld(synX, 9)),
+	}, CheckOpts{Initial: func(a mem.Addr) uint64 {
+		if a == synX {
+			return 9
+		}
+		return 0
+	}})
+	if !v.OK() {
+		t.Fatalf("init read flagged: %s", v)
+	}
+}
+
+// TestCheckAmbiguousLoadsExcluded: duplicate store values make rf
+// unresolvable; the checker counts the load ambiguous instead of guessing
+// (no false violations on non-unique-value workloads).
+func TestCheckAmbiguousLoadsExcluded(t *testing.T) {
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(synX, 5)),
+		mkAR(1, 1, st(synX, 5)),
+		mkAR(0, 2, ld(synX, 5)),
+	}, CheckOpts{})
+	if !v.OK() {
+		t.Fatalf("ambiguous execution flagged: %s", v)
+	}
+	if v.AmbiguousLoads != 1 {
+		t.Fatalf("AmbiguousLoads = %d, want 1", v.AmbiguousLoads)
+	}
+}
+
+// TestCheckEventsCommitOrder: a stream whose commit records go backwards in
+// time is corrupt and reported as such.
+func TestCheckEventsCommitOrder(t *testing.T) {
+	events := []trace.Event{
+		{Tick: 50, Kind: trace.KindCommit, Core: 0},
+		{Tick: 10, Kind: trace.KindCommit, Core: 1},
+	}
+	v := CheckEvents(events, CheckOpts{})
+	found := false
+	for _, vi := range v.Violations {
+		if vi.Kind == KindCommitOrder {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no commit-order violation among %v", violationKinds(v))
+	}
+}
+
+// TestWitnessNamesLocations: the runner's AddrName hook renders litmus
+// location names in witnesses.
+func TestWitnessNamesLocations(t *testing.T) {
+	tt := Lookup("sb+ar")
+	v := CheckARs([]trace.CommittedAR{
+		mkAR(0, 0, st(tt.AddrOf("x"), 1), ld(tt.AddrOf("y"), 0)),
+		mkAR(1, 1, st(tt.AddrOf("y"), 1), ld(tt.AddrOf("x"), 0)),
+	}, CheckOpts{AddrName: tt.AddrName})
+	if v.OK() {
+		t.Fatal("expected a violation")
+	}
+	w := strings.Join(v.Violations[0].Cycle, "\n")
+	if !strings.Contains(w, "fr[x]") && !strings.Contains(w, "fr[y]") {
+		t.Fatalf("witness does not name locations:\n%s", w)
+	}
+}

@@ -1,0 +1,63 @@
+package litmus
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// compiled is a test lowered onto the mini-ISA: one program per atomic
+// region, one invocation list per thread, and the mapping needed to read
+// the observation values back out of the trace.
+type compiled struct {
+	// progs in (thread, region) order; IDs are 1-based and unique.
+	progs []*isa.Program
+	// invs[thread] is the thread's invocation list (Think is filled in by
+	// the runner, per seed).
+	invs [][]cpu.Invocation
+	// loadObs[thread] names the observation of each load of the thread in
+	// program order — the k-th committed load of core `thread` in the trace
+	// binds the k-th name.
+	loadObs [][]string
+	// arNames maps program id -> name for the trace header.
+	arNames map[int]string
+}
+
+// compile lowers the test. Each op becomes an address materialization plus
+// the access itself; observation registers are a trace-level concept (the
+// machine resets registers between invocations, so observations are
+// extracted from the committed load events, not from register state).
+func (t *Test) compile() *compiled {
+	c := &compiled{arNames: make(map[int]string)}
+	id := 1
+	for ti, th := range t.Threads {
+		var invs []cpu.Invocation
+		var obs []string
+		for ai, ar := range th {
+			name := fmt.Sprintf("%s/t%d/ar%d", t.Name, ti, ai)
+			b := isa.NewBuilder(name)
+			for _, op := range ar {
+				addr := t.AddrOf(op.Loc)
+				if op.IsStore {
+					b.Li(isa.R1, int64(addr))
+					b.Li(isa.R2, int64(op.Val))
+					b.Store(isa.R1, 0, isa.R2)
+				} else {
+					b.Li(isa.R1, int64(addr))
+					b.Load(isa.R3, isa.R1, 0)
+					obs = append(obs, op.Obs)
+				}
+			}
+			b.Halt()
+			prog := b.Build(id)
+			c.arNames[id] = name
+			id++
+			c.progs = append(c.progs, prog)
+			invs = append(invs, cpu.Invocation{Prog: prog})
+		}
+		c.invs = append(c.invs, invs)
+		c.loadObs = append(c.loadObs, obs)
+	}
+	return c
+}

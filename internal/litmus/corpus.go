@@ -1,0 +1,178 @@
+package litmus
+
+import "sync"
+
+// The corpus: the canonical communication shapes (the memalloy exec_H
+// executions are the reference encodings) in two variants each:
+//
+//   - split: every op is its own single-op atomic region, probing the
+//     machine's op-level interleaving (the machine is SC at AR granularity,
+//     so single-op regions make it SC at op granularity);
+//   - +ar: the ops of each thread grouped into one atomic region, probing
+//     region atomicity (store-queue forwarding, conflict detection, and
+//     single-serialization-point commit).
+//
+// Store values are small distinct non-zero integers per location, so
+// reads-from resolution by value is exact and outcomes read naturally.
+
+var (
+	corpusOnce sync.Once
+	corpus     []*Test
+	corpusByID map[string]*Test
+)
+
+func buildCorpus() []*Test {
+	return []*Test{
+		{
+			Name: "sb", Doc: "store buffering: W x; R y || W y; R x",
+			Threads: []Thread{
+				split(St("x", 1), Ld("y", "r0")),
+				split(St("y", 1), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=0 r1=0"},
+		},
+		{
+			Name: "sb+ar", Doc: "store buffering, each thread one AR",
+			Threads: []Thread{
+				atomic(St("x", 1), Ld("y", "r0")),
+				atomic(St("y", 1), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=0 r1=0", "r0=1 r1=1"},
+		},
+		{
+			Name: "lb", Doc: "load buffering: R x; W y || R y; W x",
+			Threads: []Thread{
+				split(Ld("x", "r0"), St("y", 1)),
+				split(Ld("y", "r1"), St("x", 1)),
+			},
+			Forbidden: []string{"r0=1 r1=1"},
+		},
+		{
+			Name: "lb+ar", Doc: "load buffering, each thread one AR",
+			Threads: []Thread{
+				atomic(Ld("x", "r0"), St("y", 1)),
+				atomic(Ld("y", "r1"), St("x", 1)),
+			},
+			Forbidden: []string{"r0=1 r1=1"},
+		},
+		{
+			Name: "mp", Doc: "message passing: W x; W y || R y; R x",
+			Threads: []Thread{
+				split(St("x", 1), St("y", 1)),
+				split(Ld("y", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=1 r1=0"},
+		},
+		{
+			Name: "mp+ar", Doc: "message passing, each thread one AR",
+			Threads: []Thread{
+				atomic(St("x", 1), St("y", 1)),
+				atomic(Ld("y", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=1 r1=0", "r0=0 r1=1"},
+		},
+		{
+			Name: "iriw", Doc: "independent reads of independent writes",
+			Threads: []Thread{
+				split(St("x", 1)),
+				split(St("y", 1)),
+				split(Ld("x", "r0"), Ld("y", "r1")),
+				split(Ld("y", "r2"), Ld("x", "r3")),
+			},
+			Forbidden: []string{"r0=1 r1=0 r2=1 r3=0"},
+		},
+		{
+			Name: "iriw+ar", Doc: "IRIW with atomic reader pairs",
+			Threads: []Thread{
+				split(St("x", 1)),
+				split(St("y", 1)),
+				atomic(Ld("x", "r0"), Ld("y", "r1")),
+				atomic(Ld("y", "r2"), Ld("x", "r3")),
+			},
+			Forbidden: []string{"r0=1 r1=0 r2=1 r3=0", "r0=0 r1=1 r2=0 r3=1"},
+		},
+		{
+			Name: "corr", Doc: "coherence, read-read: reads of x must not go backwards",
+			Threads: []Thread{
+				split(St("x", 1)),
+				split(Ld("x", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=1 r1=0"},
+		},
+		{
+			Name: "corr+ar", Doc: "coherence read-read with an atomic reader pair",
+			Threads: []Thread{
+				split(St("x", 1)),
+				atomic(Ld("x", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=1 r1=0", "r0=0 r1=1"},
+		},
+		{
+			Name: "coww", Doc: "coherence, write-write: store order of one thread is co order",
+			Threads: []Thread{
+				split(St("x", 1), St("x", 2)),
+				split(Ld("x", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=2 r1=1"},
+		},
+		{
+			Name: "coww+ar", Doc: "atomic double store: the intermediate value must be invisible",
+			Threads: []Thread{
+				atomic(St("x", 1), St("x", 2)),
+				atomic(Ld("x", "r0"), Ld("x", "r1")),
+			},
+			Forbidden: []string{"r0=1 r1=1", "r0=1 r1=2", "r0=2 r1=1"},
+		},
+		{
+			Name: "cowr", Doc: "coherence, write-read: a read after own write sees it or newer",
+			Threads: []Thread{
+				split(St("x", 1), Ld("x", "r0")),
+				split(St("x", 2)),
+			},
+			Forbidden: []string{"r0=0"},
+		},
+		{
+			Name: "cowr+ar", Doc: "store-queue forwarding: an atomic W-then-R must read its own store",
+			Threads: []Thread{
+				atomic(St("x", 1), Ld("x", "r0")),
+				atomic(St("x", 2)),
+			},
+			Forbidden: []string{"r0=0", "r0=2"},
+		},
+		{
+			Name: "corw", Doc: "coherence, read-write: a read must not see the own later write",
+			Threads: []Thread{
+				split(Ld("x", "r0"), St("x", 1)),
+				split(St("x", 2)),
+			},
+			Forbidden: []string{"r0=1"},
+		},
+		{
+			Name: "corw+ar", Doc: "atomic R-then-W against a concurrent writer",
+			Threads: []Thread{
+				atomic(Ld("x", "r0"), St("x", 1)),
+				atomic(St("x", 2)),
+			},
+			Forbidden: []string{"r0=1"},
+		},
+	}
+}
+
+// Corpus returns the litmus tests in presentation order.
+func Corpus() []*Test {
+	corpusOnce.Do(func() {
+		corpus = buildCorpus()
+		corpusByID = make(map[string]*Test, len(corpus))
+		for _, t := range corpus {
+			t.ensureMeta()
+			corpusByID[t.Name] = t
+		}
+	})
+	return corpus
+}
+
+// Lookup resolves a test by name (nil if unknown).
+func Lookup(name string) *Test {
+	Corpus()
+	return corpusByID[name]
+}

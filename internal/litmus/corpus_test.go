@@ -1,0 +1,100 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusWellFormed pins the structural invariants every test relies on:
+// distinct locations per line, observed loads, unique store values.
+func TestCorpusWellFormed(t *testing.T) {
+	names := map[string]bool{}
+	for _, tt := range Corpus() {
+		if names[tt.Name] {
+			t.Fatalf("duplicate test name %q", tt.Name)
+		}
+		names[tt.Name] = true
+		if len(tt.Threads) < 2 {
+			t.Errorf("%s: %d threads, want >= 2", tt.Name, len(tt.Threads))
+		}
+		if len(tt.Observations()) == 0 {
+			t.Errorf("%s: no observations", tt.Name)
+		}
+		if Lookup(tt.Name) != tt {
+			t.Errorf("Lookup(%q) did not return the corpus test", tt.Name)
+		}
+	}
+	if Lookup("no-such-test") != nil {
+		t.Error("Lookup of an unknown name returned a test")
+	}
+}
+
+// TestForbiddenOutcomesExcluded asserts the documented forbidden outcomes
+// are outside the SC-enumerated allowed set — the enumerator agreeing with
+// the literature on every shape.
+func TestForbiddenOutcomesExcluded(t *testing.T) {
+	for _, tt := range Corpus() {
+		if len(tt.Forbidden) == 0 {
+			t.Errorf("%s: no forbidden outcomes documented", tt.Name)
+		}
+		allowed := tt.AllowedSet()
+		for _, f := range tt.Forbidden {
+			if allowed[f] {
+				t.Errorf("%s: forbidden outcome %q is in the allowed set %v", tt.Name, f, tt.Allowed())
+			}
+		}
+	}
+}
+
+// TestEnumeratedSets pins the allowed sets of the canonical shapes against
+// hand-derived expectations (SC at AR granularity).
+func TestEnumeratedSets(t *testing.T) {
+	want := map[string][]string{
+		// Split SB is op-level SC: only all-zero is excluded.
+		"sb": {"r0=0 r1=1", "r0=1 r1=0", "r0=1 r1=1"},
+		// Atomic SB: the two regions serialize, one must see the other.
+		"sb+ar": {"r0=0 r1=1", "r0=1 r1=0"},
+		// Atomic LB: a region cannot observe the other's write and be
+		// unobserved itself.
+		"lb+ar": {"r0=0 r1=1", "r0=1 r1=0"},
+		// Atomic MP: the reader sees both writes or neither.
+		"mp+ar": {"r0=0 r1=0", "r0=1 r1=1"},
+		// Atomic double store: the intermediate value is invisible.
+		"coww+ar": {"r0=0 r1=0", "r0=2 r1=2"},
+		// SQ forwarding: the atomic W-then-R always reads its own store.
+		"cowr+ar": {"r0=1"},
+	}
+	for name, exp := range want {
+		tt := Lookup(name)
+		if tt == nil {
+			t.Fatalf("corpus lost test %q", name)
+		}
+		got := strings.Join(tt.Allowed(), " ; ")
+		if got != strings.Join(exp, " ; ") {
+			t.Errorf("%s allowed set:\n  got  %s\n  want %s", name, got, strings.Join(exp, " ; "))
+		}
+	}
+}
+
+// TestIRIWAllowsAllButForbidden sanity-checks the largest enumerations.
+// Split IRIW forbids exactly the one assignment where the readers disagree
+// on the write order (15 of 16 allowed); atomic reader pairs turn every
+// snapshot into an order witness, excluding its mirror image too (14).
+func TestIRIWAllowsAllButForbidden(t *testing.T) {
+	split := Lookup("iriw").AllowedSet()
+	if len(split) != 15 {
+		t.Fatalf("iriw allowed %d outcomes, want 15: %v", len(split), Lookup("iriw").Allowed())
+	}
+	if split["r0=1 r1=0 r2=1 r3=0"] {
+		t.Error("iriw allows the disagreeing-readers outcome")
+	}
+	ar := Lookup("iriw+ar").AllowedSet()
+	if len(ar) != 14 {
+		t.Fatalf("iriw+ar allowed %d outcomes, want 14: %v", len(ar), Lookup("iriw+ar").Allowed())
+	}
+	for _, f := range []string{"r0=1 r1=0 r2=1 r3=0", "r0=0 r1=1 r2=0 r3=1"} {
+		if ar[f] {
+			t.Errorf("iriw+ar allows %q", f)
+		}
+	}
+}

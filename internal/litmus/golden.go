@@ -1,0 +1,53 @@
+package litmus
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// Golden outcome-set files pin the observed outcome set of every corpus
+// test per configuration, for the default sweep (seeds 1..DefaultSeedCount,
+// clean): one file per config under internal/litmus/testdata, byte-compared
+// by golden_test.go and regenerated with `clearlitmus run -update-golden`.
+// They guard two things at once: the machine's interleaving behaviour per
+// config (a scheduling or policy change that widens/narrows the observed
+// set shows up as a diff) and the enumerator's allowed sets (allowed.golden).
+
+// GoldenPath returns the golden file path of one config under dir.
+func GoldenPath(dir string, cfg harness.ConfigID) string {
+	return filepath.Join(dir, fmt.Sprintf("outcomes_%s.golden", cfg))
+}
+
+// AllowedGoldenPath returns the path of the enumerator pin file under dir.
+func AllowedGoldenPath(dir string) string {
+	return filepath.Join(dir, "allowed.golden")
+}
+
+// GoldenContent renders the outcome sets of one config's sweep cells.
+func GoldenContent(cfg harness.ConfigID, cells []CellResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# litmus outcome sets, config %s, seeds 1..%d, clean\n", cfg, DefaultSeedCount)
+	fmt.Fprintf(&b, "# regenerate: go run ./cmd/clearlitmus run -update-golden\n")
+	for _, cell := range cells {
+		if cell.Config != cfg {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %s\n", cell.Test.Name, strings.Join(cell.ObservedOutcomes(), " | "))
+	}
+	return b.String()
+}
+
+// AllowedGoldenContent renders the SC-enumerated allowed set of every
+// corpus test (config-independent).
+func AllowedGoldenContent() string {
+	var b strings.Builder
+	b.WriteString("# litmus SC-allowed outcome sets (AR-granularity enumeration)\n")
+	b.WriteString("# regenerate: go run ./cmd/clearlitmus run -update-golden\n")
+	for _, t := range Corpus() {
+		fmt.Fprintf(&b, "%s: %s\n", t.Name, strings.Join(t.Allowed(), " | "))
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package litmus
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestGoldenOutcomeSets byte-compares the observed outcome set of every
+// corpus test per config against the checked-in goldens (seeds
+// 1..DefaultSeedCount, clean). Regenerate with
+// `go run ./cmd/clearlitmus run -update-golden`.
+func TestGoldenOutcomeSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep skipped in -short")
+	}
+	cells := Sweep(SweepOpts{
+		Tests:   Corpus(),
+		Configs: harness.AllConfigs,
+		Seeds:   DefaultSeeds(DefaultSeedCount),
+	})
+	for _, cell := range cells {
+		if cell.Failed() {
+			t.Errorf("%s/%s: golden sweep has failures, first:\n%s",
+				cell.Test.Name, cell.Config, cell.Failures[0])
+		}
+	}
+	for _, cfg := range harness.AllConfigs {
+		path := GoldenPath("testdata", cfg)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden %s (regenerate with clearlitmus run -update-golden): %v", path, err)
+		}
+		if got := GoldenContent(cfg, cells); got != string(want) {
+			t.Errorf("outcome sets for config %s drifted from %s\n--- got ---\n%s--- want ---\n%s"+
+				"(regenerate with `go run ./cmd/clearlitmus run -update-golden` if the change is intended)",
+				cfg, path, got, want)
+		}
+	}
+}
+
+// TestGoldenAllowedSets pins the enumerator output (config-independent).
+func TestGoldenAllowedSets(t *testing.T) {
+	path := AllowedGoldenPath("testdata")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s: %v", path, err)
+	}
+	if got := AllowedGoldenContent(); got != string(want) {
+		t.Errorf("allowed sets drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

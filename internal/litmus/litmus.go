@@ -1,0 +1,222 @@
+// Package litmus is the memory-model conformance suite of the simulator: a
+// corpus of classic litmus shapes (SB, LB, MP, IRIW, and the CoXX coherence
+// tests, each in a split and an atomic-region variant) expressed as
+// deterministic mini-ISA workloads, an axiomatic checker that extracts the
+// po/rf/co/fr relations of a recorded execution from the binary trace
+// stream and verifies per-location coherence (acyclic po-loc ∪ rf ∪ co ∪
+// fr) and AR-granularity serializability (acyclic po ∪ rf ∪ co ∪ fr over
+// committed regions), and an outcome-set collector that sweeps each test
+// across configurations, seeds, and fault presets and diffs the observed
+// outcome set against the SC-enumerated allowed set.
+//
+// The machine under test commits atomic regions at a single serialization
+// point, so its allowed behaviour is sequential consistency at AR
+// granularity: the allowed outcome set of a test is computed by exhaustive
+// enumeration of AR interleavings (outcome.go), with no per-architecture
+// annotations. The checker is strictly stronger than the fuzz package's
+// final-memory serial replay: a lost invalidation or a stale store-queue
+// forward can produce a final memory image identical to a serial replay
+// while the extracted execution graph carries an fr/co cycle — the checker
+// reports that cycle as the witness.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Base is the address of the first litmus location. Each named location
+// occupies its own cacheline (location i lives at Base + i*LineSize), so
+// every inter-thread communication in a test is a genuine coherence event.
+// It sits apart from the fuzz pool (0x10000) and the machine allocator base
+// (0x100000).
+const Base mem.Addr = 0x20000
+
+// Op is one memory operation of a litmus thread: a store of an immediate to
+// a named location, or a load observed under a named observation register.
+type Op struct {
+	Loc     string
+	IsStore bool
+	// Val is the stored immediate. Within one test, every store to a given
+	// location writes a distinct non-zero value, so reads-from resolution
+	// by value matching is exact.
+	Val uint64
+	// Obs names the observation register of a load ("r0", "r1", ...);
+	// outcomes are rendered as obs=value assignments.
+	Obs string
+}
+
+// St builds a store op.
+func St(loc string, val uint64) Op { return Op{Loc: loc, IsStore: true, Val: val} }
+
+// Ld builds an observed load op.
+func Ld(loc, obs string) Op { return Op{Loc: loc, Obs: obs} }
+
+func (o Op) String() string {
+	if o.IsStore {
+		return fmt.Sprintf("st %s=%d", o.Loc, o.Val)
+	}
+	return fmt.Sprintf("ld %s->%s", o.Loc, o.Obs)
+}
+
+// AR is one atomic region: its ops execute atomically.
+type AR []Op
+
+// Thread is one hardware thread's sequence of atomic regions.
+type Thread []AR
+
+// split wraps each op in its own single-op atomic region.
+func split(ops ...Op) Thread {
+	th := make(Thread, len(ops))
+	for i, op := range ops {
+		th[i] = AR{op}
+	}
+	return th
+}
+
+// atomic wraps all ops into one atomic region.
+func atomic(ops ...Op) Thread { return Thread{AR(ops)} }
+
+// Test is one litmus test: named threads of atomic regions plus the
+// documented forbidden outcomes. The allowed outcome set is not declared —
+// it is computed by SC enumeration at AR granularity (the machine's
+// contract) and pinned by the golden files.
+type Test struct {
+	Name string
+	// Doc is a one-line description (shown by clearlitmus list).
+	Doc     string
+	Threads []Thread
+	// Forbidden lists the famous forbidden outcomes of the shape — the
+	// ones a weaker model would admit. They are asserted to be outside the
+	// enumerated allowed set (corpus_test.go) and double as documentation.
+	Forbidden []string
+
+	locs    []string // locations in first-appearance order
+	obs     []string // observation names in thread/op order
+	allowed []string // SC-enumerated outcomes, sorted (lazy)
+}
+
+// Locations returns the test's named locations in first-appearance order;
+// location i is placed at Base + i*LineSize.
+func (t *Test) Locations() []string {
+	t.ensureMeta()
+	return t.locs
+}
+
+// Observations returns the observation register names in thread/op order
+// (the order outcome strings render them in).
+func (t *Test) Observations() []string {
+	t.ensureMeta()
+	return t.obs
+}
+
+// AddrOf returns the address of a named location.
+func (t *Test) AddrOf(loc string) mem.Addr {
+	for i, l := range t.Locations() {
+		if l == loc {
+			return Base + mem.Addr(i)*mem.LineSize
+		}
+	}
+	panic(fmt.Sprintf("litmus: %s: unknown location %q", t.Name, loc))
+}
+
+// AddrName resolves an address back to its location name (for witness
+// rendering); unknown addresses render as hex.
+func (t *Test) AddrName(a mem.Addr) string {
+	for i, l := range t.Locations() {
+		if Base+mem.Addr(i)*mem.LineSize == a {
+			return l
+		}
+	}
+	return a.String()
+}
+
+func (t *Test) ensureMeta() {
+	if t.locs != nil {
+		return
+	}
+	seenLoc := map[string]bool{}
+	seenObs := map[string]bool{}
+	locs := []string{}
+	obs := []string{}
+	for ti, th := range t.Threads {
+		for _, ar := range th {
+			for _, op := range ar {
+				if !seenLoc[op.Loc] {
+					seenLoc[op.Loc] = true
+					locs = append(locs, op.Loc)
+				}
+				if op.IsStore {
+					continue
+				}
+				if op.Obs == "" {
+					panic(fmt.Sprintf("litmus: %s: thread %d has an unobserved load", t.Name, ti))
+				}
+				if seenObs[op.Obs] {
+					panic(fmt.Sprintf("litmus: %s: duplicate observation %q", t.Name, op.Obs))
+				}
+				seenObs[op.Obs] = true
+				obs = append(obs, op.Obs)
+			}
+		}
+	}
+	// Unique non-zero store values per location make value-based rf
+	// resolution exact; the corpus constructor enforces it.
+	vals := map[string]map[uint64]bool{}
+	for _, th := range t.Threads {
+		for _, ar := range th {
+			for _, op := range ar {
+				if !op.IsStore {
+					continue
+				}
+				if op.Val == 0 {
+					panic(fmt.Sprintf("litmus: %s: store of 0 to %s (0 is the initial value)", t.Name, op.Loc))
+				}
+				if vals[op.Loc] == nil {
+					vals[op.Loc] = map[uint64]bool{}
+				}
+				if vals[op.Loc][op.Val] {
+					panic(fmt.Sprintf("litmus: %s: duplicate store value %d to %s", t.Name, op.Val, op.Loc))
+				}
+				vals[op.Loc][op.Val] = true
+			}
+		}
+	}
+	t.locs = locs
+	t.obs = obs
+}
+
+// FormatOutcome renders an observation assignment canonically: obs=value
+// pairs in Observations() order, space-separated.
+func (t *Test) FormatOutcome(vals map[string]uint64) string {
+	parts := make([]string, 0, len(t.Observations()))
+	for _, o := range t.Observations() {
+		parts = append(parts, fmt.Sprintf("%s=%d", o, vals[o]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Allowed returns the sorted SC-allowed outcome set (AR granularity).
+func (t *Test) Allowed() []string {
+	if t.allowed == nil {
+		set := t.enumerate()
+		t.allowed = make([]string, 0, len(set))
+		for o := range set {
+			t.allowed = append(t.allowed, o)
+		}
+		sort.Strings(t.allowed)
+	}
+	return t.allowed
+}
+
+// AllowedSet returns the allowed outcomes as a set.
+func (t *Test) AllowedSet() map[string]bool {
+	set := make(map[string]bool, len(t.Allowed()))
+	for _, o := range t.Allowed() {
+		set[o] = true
+	}
+	return set
+}

@@ -1,0 +1,60 @@
+package litmus
+
+// enumerate computes the allowed outcome set by exhaustive interleaving of
+// the threads' atomic regions under sequential consistency: the machine
+// commits each AR at a single serialization point, so any interleaving of
+// whole ARs (respecting per-thread program order) is allowed and nothing
+// else is. Litmus tests are tiny (≤ 8 regions), so plain DFS suffices.
+func (t *Test) enumerate() map[string]bool {
+	t.ensureMeta()
+	memv := map[string]uint64{} // absent = initial 0
+	obsv := map[string]uint64{}
+	pos := make([]int, len(t.Threads))
+	out := map[string]bool{}
+
+	var rec func()
+	rec = func() {
+		done := true
+		for ti, th := range t.Threads {
+			if pos[ti] >= len(th) {
+				continue
+			}
+			done = false
+			ar := th[pos[ti]]
+
+			// Execute the AR atomically, remembering what it overwrote.
+			type saved struct {
+				key string
+				val uint64
+				obs bool
+			}
+			var undo []saved
+			for _, op := range ar {
+				if op.IsStore {
+					undo = append(undo, saved{key: op.Loc, val: memv[op.Loc]})
+					memv[op.Loc] = op.Val
+				} else {
+					undo = append(undo, saved{key: op.Obs, val: obsv[op.Obs], obs: true})
+					obsv[op.Obs] = memv[op.Loc]
+				}
+			}
+
+			pos[ti]++
+			rec()
+			pos[ti]--
+
+			for i := len(undo) - 1; i >= 0; i-- {
+				if undo[i].obs {
+					obsv[undo[i].key] = undo[i].val
+				} else {
+					memv[undo[i].key] = undo[i].val
+				}
+			}
+		}
+		if done {
+			out[t.FormatOutcome(obsv)] = true
+		}
+	}
+	rec()
+	return out
+}

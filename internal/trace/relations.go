@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// This file reconstructs the *committed* execution from a recorded event
+// stream: which atomic regions reached their commit point, in which global
+// order, and which memory accesses each of them performed. It is the
+// substrate the internal/litmus axiomatic checker builds its po/rf/co/fr
+// relations on.
+//
+// The extraction relies on two stream properties the tracer guarantees:
+//
+//   - Events appear in execution order. The engine is a sequential event
+//     loop, every probe callback runs synchronously at its simulation point,
+//     and the tracer appends records in callback order — so the stream
+//     position of a KindCommit record *is* the serialization point of that
+//     region (speculative commits drain their store queue synchronously at
+//     the commit record's position).
+//
+//   - Per core, KindMemAccess records between a KindAttemptStart and the
+//     attempt's closing KindCommit/KindAttemptEnd belong to that attempt.
+//     Cores interleave in the stream, but each core is strictly sequential.
+
+// MemAccess is one committed load or store.
+type MemAccess struct {
+	// Seq is the access event's position in the stream (a global total
+	// order consistent with execution order).
+	Seq  int
+	Tick sim.Tick
+	Addr mem.Addr
+	// Value is the word loaded or stored.
+	Value   uint64
+	IsWrite bool
+}
+
+// CommittedAR is one atomic region that reached its commit point, with the
+// memory accesses of its committing attempt in program order.
+type CommittedAR struct {
+	Core    int
+	ProgID  int
+	Attempt int
+	// Mode is the execution mode the region committed in.
+	Mode cpu.Mode
+	// CommitSeq is the region's rank in the global commit order (the stream
+	// order of KindCommit records, which equals serialization order).
+	CommitSeq  int
+	CommitTick sim.Tick
+	Accesses   []MemAccess
+}
+
+// String labels the region for witness rendering.
+func (a CommittedAR) String() string {
+	return fmt.Sprintf("core %d inv#%d prog %d (%v commit @%d)",
+		a.Core, a.CommitSeq, a.ProgID, a.Mode, a.CommitTick)
+}
+
+// CommittedARs extracts the committed regions of an event stream, in commit
+// (= serialization) order. Accesses of aborted attempts are discarded; the
+// stream may omit memory accesses entirely (Options.MemAccesses off), in
+// which case the regions simply carry empty access lists — callers that
+// need the relations should check Meta.MemAccesses first.
+func CommittedARs(events []Event) []CommittedAR {
+	type pending struct {
+		active   bool
+		attempt  int
+		progID   int
+		accesses []MemAccess
+	}
+	var cores []pending
+	coreState := func(id uint8) *pending {
+		for int(id) >= len(cores) {
+			cores = append(cores, pending{})
+		}
+		return &cores[id]
+	}
+
+	var out []CommittedAR
+	for seq, e := range events {
+		switch e.Kind {
+		case KindAttemptStart:
+			st := coreState(e.Core)
+			st.active = true
+			st.attempt = e.Attempt()
+			st.progID = e.ProgID()
+			st.accesses = st.accesses[:0]
+		case KindMemAccess:
+			st := coreState(e.Core)
+			if !st.active {
+				break // e.g. accesses of a mode the extractor does not track
+			}
+			st.accesses = append(st.accesses, MemAccess{
+				Seq:     seq,
+				Tick:    e.Tick,
+				Addr:    e.MemAddr(),
+				Value:   e.Value(),
+				IsWrite: e.IsWrite(),
+			})
+		case KindAttemptEnd:
+			// Aborted attempt (or a fallback-lock wait with no paired start):
+			// its accesses never became visible.
+			st := coreState(e.Core)
+			st.active = false
+			st.accesses = st.accesses[:0]
+		case KindCommit:
+			st := coreState(e.Core)
+			ar := CommittedAR{
+				Core:       int(e.Core),
+				ProgID:     e.ProgID(),
+				Attempt:    e.Attempt(),
+				Mode:       e.Mode(),
+				CommitSeq:  len(out),
+				CommitTick: e.Tick,
+				Accesses:   append([]MemAccess(nil), st.accesses...),
+			}
+			st.active = false
+			st.accesses = st.accesses[:0]
+			out = append(out, ar)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Synthetic streams pin the committed-execution extraction rules: only
+// accesses between an AttemptStart and the matching Commit survive; aborted
+// attempts are discarded wholesale.
+
+func evStart(tick int, core int, prog int, attempt int, mode cpu.Mode) Event {
+	return Event{Tick: sim.Tick(tick), Kind: KindAttemptStart, Core: uint8(core),
+		Arg0: uint8(mode), Arg2: uint32(attempt), Addr: uint64(prog)}
+}
+
+func evEnd(tick int, core int) Event {
+	return Event{Tick: sim.Tick(tick), Kind: KindAttemptEnd, Core: uint8(core)}
+}
+
+func evCommit(tick int, core int, prog int, attempt int, mode cpu.Mode) Event {
+	return Event{Tick: sim.Tick(tick), Kind: KindCommit, Core: uint8(core),
+		Arg0: uint8(mode), Arg2: uint32(attempt), Addr: uint64(prog)}
+}
+
+func evMem(tick int, core int, addr uint64, val uint64, isWrite bool) Event {
+	w := uint8(0)
+	if isWrite {
+		w = 1
+	}
+	return Event{Tick: sim.Tick(tick), Kind: KindMemAccess, Core: uint8(core),
+		Arg1: w, Addr: addr, Arg3: val}
+}
+
+func TestCommittedARsBasic(t *testing.T) {
+	ars := CommittedARs([]Event{
+		evStart(10, 0, 1, 0, cpu.ModeSpeculative),
+		evMem(11, 0, 0x100, 7, true),
+		evMem(12, 0, 0x108, 7, false),
+		evCommit(13, 0, 1, 0, cpu.ModeSpeculative),
+	})
+	if len(ars) != 1 {
+		t.Fatalf("got %d ARs, want 1", len(ars))
+	}
+	ar := ars[0]
+	if ar.Core != 0 || ar.ProgID != 1 || ar.Mode != cpu.ModeSpeculative || ar.CommitSeq != 0 {
+		t.Fatalf("AR header: %+v", ar)
+	}
+	if len(ar.Accesses) != 2 || !ar.Accesses[0].IsWrite || ar.Accesses[1].IsWrite {
+		t.Fatalf("accesses: %+v", ar.Accesses)
+	}
+	if ar.Accesses[0].Seq >= ar.Accesses[1].Seq {
+		t.Fatalf("access Seq not increasing: %+v", ar.Accesses)
+	}
+}
+
+func TestCommittedARsDiscardAborted(t *testing.T) {
+	ars := CommittedARs([]Event{
+		// Attempt 0 runs two accesses and aborts; attempt 1 commits with one.
+		evStart(10, 0, 1, 0, cpu.ModeSpeculative),
+		evMem(11, 0, 0x100, 1, true),
+		evMem(12, 0, 0x108, 2, false),
+		evEnd(13, 0),
+		evStart(20, 0, 1, 1, cpu.ModeSCL),
+		evMem(21, 0, 0x100, 3, true),
+		evCommit(22, 0, 1, 1, cpu.ModeSCL),
+	})
+	if len(ars) != 1 {
+		t.Fatalf("got %d ARs, want 1", len(ars))
+	}
+	if len(ars[0].Accesses) != 1 || ars[0].Accesses[0].Value != 3 {
+		t.Fatalf("aborted attempt's accesses leaked: %+v", ars[0].Accesses)
+	}
+	if ars[0].Mode != cpu.ModeSCL || ars[0].Attempt != 1 {
+		t.Fatalf("AR header: %+v", ars[0])
+	}
+}
+
+func TestCommittedARsInterleavedCores(t *testing.T) {
+	// Core 1 commits first; CommitSeq follows commit-record stream order.
+	ars := CommittedARs([]Event{
+		evStart(10, 0, 1, 0, cpu.ModeSpeculative),
+		evStart(11, 1, 2, 0, cpu.ModeSpeculative),
+		evMem(12, 0, 0x100, 1, true),
+		evMem(13, 1, 0x140, 2, true),
+		evCommit(14, 1, 2, 0, cpu.ModeSpeculative),
+		evCommit(15, 0, 1, 0, cpu.ModeSpeculative),
+	})
+	if len(ars) != 2 {
+		t.Fatalf("got %d ARs, want 2", len(ars))
+	}
+	if ars[0].Core != 1 || ars[0].CommitSeq != 0 || ars[1].Core != 0 || ars[1].CommitSeq != 1 {
+		t.Fatalf("commit order wrong: %+v / %+v", ars[0], ars[1])
+	}
+	if len(ars[0].Accesses) != 1 || ars[0].Accesses[0].Value != 2 {
+		t.Fatalf("core attribution wrong: %+v", ars[0].Accesses)
+	}
+}
+
+// TestCommittedARsEndWithoutStart: fallback-lock waiters emit AttemptEnd
+// records without a preceding AttemptStart; extraction must tolerate them.
+func TestCommittedARsEndWithoutStart(t *testing.T) {
+	ars := CommittedARs([]Event{
+		evEnd(5, 0),
+		evStart(10, 0, 1, 1, cpu.ModeFallback),
+		evMem(11, 0, 0x100, 9, true),
+		evCommit(12, 0, 1, 1, cpu.ModeFallback),
+	})
+	if len(ars) != 1 || len(ars[0].Accesses) != 1 {
+		t.Fatalf("unexpected extraction: %+v", ars)
+	}
+}
+
+// TestCommittedARsAccessesOutsideAttempt: mem events with no open attempt
+// (e.g. partial fallback commit bookkeeping) are not attributed to the next
+// attempt.
+func TestCommittedARsAccessesOutsideAttempt(t *testing.T) {
+	ars := CommittedARs([]Event{
+		evMem(5, 0, 0x100, 1, true),
+		evStart(10, 0, 1, 0, cpu.ModeSpeculative),
+		evCommit(12, 0, 1, 0, cpu.ModeSpeculative),
+	})
+	if len(ars) != 1 || len(ars[0].Accesses) != 0 {
+		t.Fatalf("stray access attributed: %+v", ars)
+	}
+}
+
+func TestCommittedARString(t *testing.T) {
+	ars := CommittedARs([]Event{
+		evStart(10, 3, 7, 0, cpu.ModeSpeculative),
+		evCommit(12, 3, 7, 0, cpu.ModeSpeculative),
+	})
+	s := ars[0].String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
