@@ -27,6 +27,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -292,6 +293,22 @@ func BenchmarkHarnessRunHotTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := harness.DefaultRunParams("intruder", harness.ConfigC)
 		p.TraceWriter = io.Discard
+		if _, err := harness.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessRunHotMetrics is the same run with a metrics registry
+// attached: the delta against BenchmarkHarnessRunHot prices the instrument
+// collector when it is ON. CI holds this under an alloc budget — the
+// collector's hot path is pure atomics, so the only allocations beyond the
+// bare run are the registry, its series, and the per-core collector state.
+func BenchmarkHarnessRunHotMetrics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := harness.DefaultRunParams("intruder", harness.ConfigC)
+		p.Metrics = metrics.NewRegistry()
 		if _, err := harness.Run(p); err != nil {
 			b.Fatal(err)
 		}

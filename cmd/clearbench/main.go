@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
@@ -52,7 +53,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write the matrix cells as CSV to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /debug/vars")
+		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /metrics, /metrics.json, /debug/vars")
 		deadline = flag.Duration("run-deadline", 0, "host wall-time deadline per individual run; an exceeding run becomes an isolated failure instead of hanging the sweep (0 = none)")
 	)
 	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
@@ -131,8 +132,12 @@ func main() {
 		live := trace.NewLive()
 		live.Publish() // expvar: /debug/vars
 		opts.Telemetry = live
+		reg := metrics.NewRegistry()
+		opts.Metrics = reg
 		mux := http.NewServeMux()
 		mux.Handle("/telemetry", live.Handler())
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/metrics.json", reg.JSONHandler())
 		mux.Handle("/debug/vars", expvar.Handler())
 		srv = &http.Server{
 			Addr:              *serve,
@@ -147,7 +152,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "clearbench: telemetry server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "clearbench: live telemetry on http://%s/telemetry\n", *serve)
+		fmt.Fprintf(os.Stderr, "clearbench: live telemetry on http://%s/telemetry, metrics on /metrics\n", *serve)
 	}
 
 	if *sweep {

@@ -18,6 +18,9 @@
 //	clearchaos -list-plans                   # show the named presets
 //	clearchaos -cache-dir .clearcache        # replay: clean cached runs are
 //	                                         # skipped, only new cells execute
+//	clearchaos -axiom                        # also check every run's committed
+//	                                         # execution against the axiomatic
+//	                                         # memory model
 //
 // Exit status is 0 iff every run survived with zero oracle violations and
 // zero watchdog detections (with -expect-catch: iff a planted fault was
@@ -25,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -34,8 +38,10 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/litmus"
 	"repro/internal/runstore"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // campaignBenches is the default benchmark rotation: small, contended
@@ -56,6 +62,7 @@ func main() {
 		retry     = flag.Int("retry", 4, "retry limit")
 		deadline  = flag.Duration("deadline", 30*time.Second, "host wall-time deadline per run (0 = none)")
 		doShrink  = flag.Bool("shrink", true, "shrink a failing run's fault plan to a minimal reproducer")
+		axiom     = flag.Bool("axiom", false, "record each run's memory-access trace and check it against the axiomatic memory model (slower, uncacheable)")
 		expect    = flag.Bool("expect-catch", false, "invert: exit 0 iff at least one run fails and is caught (planted-fault proof)")
 		verbose   = flag.Bool("v", false, "print every run result, not just failures")
 		listPlans = flag.Bool("list-plans", false, "list the named fault-plan presets and exit")
@@ -119,6 +126,7 @@ func main() {
 		retry:    *retry,
 		deadline: *deadline,
 		shrink:   *doShrink,
+		axiom:    *axiom,
 		expect:   *expect,
 		verbose:  *verbose,
 		store:    store,
@@ -137,8 +145,14 @@ type campaignOpts struct {
 	retry    int
 	deadline time.Duration
 	shrink   bool
-	expect   bool
-	verbose  bool
+	// axiom records every run's memory-access trace in memory and checks
+	// the committed execution against the axiomatic memory model
+	// (internal/litmus), turning the whole chaos campaign into a
+	// memory-model conformance sweep. Tracing makes runs uncacheable, so
+	// every cell simulates even with -cache-dir.
+	axiom   bool
+	expect  bool
+	verbose bool
 	// store, when non-nil, is the content-addressed run cache: a campaign
 	// replay skips the simulation of every run whose (plan, seed, machine)
 	// tuple already has a clean cached record — only failures (never
@@ -236,7 +250,24 @@ func campaign(o campaignOpts) int {
 			FaultPlan:    plan,
 			Deadline:     o.deadline,
 		}
+		var axiomBuf bytes.Buffer
+		if o.axiom {
+			// Record the full memory-access stream in memory; tracing makes
+			// the run uncacheable, so the simulation always actually runs.
+			p.TraceWriter = &axiomBuf
+			p.TraceMem = true
+		}
 		res, fail, hit := harness.RunCheckedCached(o.store, p)
+		if fail == nil && o.axiom {
+			if err := axiomCheck(p, axiomBuf.Bytes()); err != nil {
+				fmt.Printf("run %d %s/%s seed=%d FAILED axiomatic check: %v\n", i, benchName, cfg, p.Seed, err)
+				if o.expect {
+					fmt.Printf("clearchaos: planted fault caught after %d run(s) in %v\n", i+1, time.Since(start).Round(time.Millisecond))
+					return 0
+				}
+				return 1
+			}
+		}
 		if fail == nil {
 			if hit {
 				rep.cached++
@@ -291,6 +322,30 @@ func campaign(o campaignOpts) int {
 		return 1
 	}
 	return 0
+}
+
+// axiomCheck runs the axiomatic memory-model checker over one run's
+// recorded event stream. The initial-memory image comes from replaying the
+// workload's deterministic setup, so loads of never-overwritten locations
+// resolve instead of being counted ambiguous.
+func axiomCheck(p harness.RunParams, raw []byte) error {
+	rd, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	events, err := rd.ReadAll()
+	if err != nil {
+		return err
+	}
+	initial, err := harness.SetupImage(p)
+	if err != nil {
+		return err
+	}
+	v := litmus.CheckEvents(events, litmus.CheckOpts{Initial: initial})
+	if !v.OK() {
+		return fmt.Errorf("%s", v)
+	}
+	return nil
 }
 
 // enabledKinds renders the plan's active fault kinds as a -faults argument;

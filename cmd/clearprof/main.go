@@ -1,0 +1,71 @@
+// Command clearprof is the offline contention-attribution profiler: it
+// turns recorded binary traces (internal/trace) and runstore-cached run
+// summaries into ranked contention reports and regression diffs.
+//
+// Usage:
+//
+//	clearprof profile run.trace             # full attribution report
+//	clearprof profile -json run.trace       # machine-readable report
+//	clearprof top -n 10 run.trace           # hottest locks/ARs/edges only
+//	clearprof diff a.trace b.trace          # compare two recorded traces
+//	clearprof diff -cache-dir d 97052b 3fa9 # compare two cached runs (key prefixes)
+//
+// diff exits 0 and prints nothing when the runs agree on every compared
+// metric, and exits 1 with one line per differing metric otherwise —
+// making regression detection across sweeps a one-command operation.
+// Trace files and runstore record files are distinguished by content
+// (the CLRT magic), so the two argument forms can be mixed; mixed-kind
+// diffs compare the metric intersection.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+)
+
+func main() {
+	cliutil.SetTool("clearprof")
+	if len(os.Args) < 2 {
+		usage()
+		cliutil.Exit(cliutil.ExitUsage)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "profile":
+		err = cmdProfile(args)
+	case "top":
+		err = cmdTop(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "clearprof: unknown command %q\n\n", cmd)
+		usage()
+		cliutil.Exit(cliutil.ExitUsage)
+	}
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `clearprof profiles contention in recorded traces and diffs runs.
+
+commands:
+  profile   full report: abort attribution, hot lines, per-AR costs,
+            ticks-lost-to-retry accounting (-json for machine output)
+  top       only the top-N hottest edges, lines, and ARs
+  diff      compare two runs (trace files or runstore records); silent
+            and exit 0 when identical, one line per difference and exit 1
+
+inputs: a binary trace file (cleartrace record), a runstore record file
+(<cache-dir>/<aa>/<key>.json), or with -cache-dir an abbreviated key prefix.
+
+run 'clearprof <command> -h' for the command's flags.
+`)
+}

@@ -111,6 +111,13 @@ type LockResult struct {
 	// rather than spin, or it could form a wait cycle with the holder
 	// (§5.2).
 	Nacked bool
+	// Holder identifies the core responsible for a Retry/Nacked outcome —
+	// exact for Retry (the lock holder), best-effort for Nacked (the
+	// exclusive owner when one exists). Meaningful only when HolderKnown;
+	// the zero value deliberately reads as "unknown" so fabricated results
+	// (tests, injected denials with no real holder) stay unattributed.
+	Holder      int
+	HolderKnown bool
 }
 
 // CoreHook is implemented by the per-core transactional layer. The directory
@@ -591,7 +598,10 @@ func (d *Directory) lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 	si := d.slotFor(line)
 	if d.locked[si] >= 0 && int(d.locked[si]) != core {
 		d.Stats.Retries++
-		return LockResult{Latency: d.roundTrip(core, line) + d.cfg.Lat.Backoff, Retry: true}
+		return LockResult{
+			Latency: d.roundTrip(core, line) + d.cfg.Lat.Backoff, Retry: true,
+			Holder: int(d.locked[si]), HolderKnown: true,
+		}
 	}
 	if int(d.owner[si]) == core {
 		// Already held exclusive (the ALT "Hit" fast path of §5): the lock
@@ -602,7 +612,11 @@ func (d *Directory) lock(core int, line mem.LineAddr, attrs ReqAttrs) LockResult
 	attrs.Locking = true
 	res := d.Write(core, line, attrs)
 	if res.Nacked {
-		return LockResult{Latency: res.Latency, Nacked: true}
+		out := LockResult{Latency: res.Latency, Nacked: true}
+		if owner := int(d.owner[si]); owner >= 0 && owner != core {
+			out.Holder, out.HolderKnown = owner, true
+		}
+		return out
 	}
 	if res.Retry {
 		d.Stats.Retries++

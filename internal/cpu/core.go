@@ -126,6 +126,10 @@ type Core struct {
 	sqForward lineset.AddrMap
 	discStart sim.Tick
 
+	// probeLines is the reusable scratch behind CommitInfo.StoreLines, so
+	// an attached probe does not cost one slice allocation per commit.
+	probeLines []mem.LineAddr
+
 	// touched records the attempt's distinct lines for Figure 1 (bounded).
 	touched lineset.LineSet
 

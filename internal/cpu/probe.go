@@ -26,7 +26,8 @@ type Probe interface {
 	// speculative (after the fallback-lock gate), CL (before the lock
 	// walk), or fallback (after the write lock is announced). footprint is
 	// the ALT snapshot a CL attempt will lock/execute against (nil
-	// otherwise); the slice is freshly allocated and may be retained.
+	// otherwise); like CommitInfo.StoreLines it is scratch valid only for
+	// the duration of the callback — probes that retain it must copy.
 	OnAttemptStart(core int, mode Mode, attempt int, footprint []mem.LineAddr)
 	// OnAttemptEnd fires when an attempt aborts, after the retry-mode
 	// decision for the next attempt has been taken.
@@ -79,8 +80,9 @@ type CommitInfo struct {
 	ConflictRetries int
 	// StoreLines lists the distinct cachelines of the buffered stores about
 	// to drain (commit order, first occurrence). Nil for fallback commits:
-	// fallback stores write memory directly. The slice is freshly allocated
-	// and may be retained.
+	// fallback stores write memory directly. The slice is scratch reused
+	// across commits — valid only for the duration of the callback; probes
+	// that retain it must copy.
 	StoreLines []mem.LineAddr
 }
 
@@ -138,12 +140,14 @@ func (t *teeProbe) OnConflict(core int, line mem.LineAddr, isWrite bool, request
 }
 
 // storeLinesForProbe collects the distinct lines of the core's buffered
-// stores, in first-store order. Only called when a probe is installed.
+// stores, in first-store order, into the core's reusable scratch slice
+// (CommitInfo.StoreLines is callback-scoped). Only called when a probe is
+// installed.
 func (c *Core) storeLinesForProbe() []mem.LineAddr {
 	if len(c.sq) == 0 {
 		return nil
 	}
-	lines := make([]mem.LineAddr, 0, len(c.sq))
+	lines := c.probeLines[:0]
 	for _, s := range c.sq {
 		line := s.addr.Line()
 		dup := false
@@ -157,18 +161,22 @@ func (c *Core) storeLinesForProbe() []mem.LineAddr {
 			lines = append(lines, line)
 		}
 	}
+	c.probeLines = lines
 	return lines
 }
 
-// altLinesForProbe snapshots the ALT footprint for a CL attempt start.
+// altLinesForProbe snapshots the ALT footprint for a CL attempt start into
+// the same callback-scoped scratch slice storeLinesForProbe uses (the two
+// are never live at once: attempt start and commit are distinct callbacks).
 func (c *Core) altLinesForProbe() []mem.LineAddr {
 	entries := c.disc.ALT.Entries()
 	if len(entries) == 0 {
 		return nil
 	}
-	lines := make([]mem.LineAddr, len(entries))
-	for i, e := range entries {
-		lines[i] = e.Addr
+	lines := c.probeLines[:0]
+	for _, e := range entries {
+		lines = append(lines, e.Addr)
 	}
+	c.probeLines = lines
 	return lines
 }

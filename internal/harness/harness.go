@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -113,6 +114,11 @@ type RunParams struct {
 	// Telemetry, when non-nil, attaches the lock-free live counter
 	// collector (safe to share across concurrent runs).
 	Telemetry *trace.Live
+	// Metrics, when non-nil, attaches the internal/metrics instrument set
+	// (counters, gauges, log2 histograms) to the run through the same tee
+	// seams. The registry may be shared across concurrent runs; series
+	// aggregate. Digest-transparent, like the tracer and telemetry.
+	Metrics *metrics.Registry
 	// Deadline bounds the *host* wall time of the run; zero means no
 	// deadline. Exceeding it stops the event loop with an error — the sweep
 	// hardening that keeps one pathological cell from hanging a matrix.
@@ -177,14 +183,9 @@ type RunResult struct {
 // Run executes one simulation end to end: setup, execution, verification.
 // A verification failure is returned as an error — atomicity was broken.
 func Run(p RunParams) (*RunResult, error) {
-	bench, err := workload.New(p.Benchmark)
+	bench, memory, rng, err := setupWorkload(p)
 	if err != nil {
 		return nil, err
-	}
-	memory := mem.NewMemory(0x100000)
-	rng := sim.NewRNG(p.Seed)
-	if err := bench.Setup(memory, rng, p.Cores); err != nil {
-		return nil, fmt.Errorf("harness: setup %s: %w", p.Benchmark, err)
 	}
 	machine, err := cpu.NewMachine(p.SystemConfig(), memory)
 	if err != nil {
@@ -221,6 +222,16 @@ func Run(p RunParams) (*RunResult, error) {
 		machine.AddProbe(p.Telemetry)
 		p.Telemetry.RunStarted()
 		defer p.Telemetry.RunFinished()
+	}
+	if p.Metrics != nil {
+		metrics.Attach(machine, p.Metrics)
+		ins := p.Metrics.Instruments()
+		ins.RunsStarted.Inc()
+		ins.ActiveRuns.Add(1)
+		defer func() {
+			ins.RunsFinished.Inc()
+			ins.ActiveRuns.Add(-1)
+		}()
 	}
 	var dog *Watchdog
 	if p.Watchdog != nil {
@@ -295,6 +306,49 @@ func Run(p RunParams) (*RunResult, error) {
 	}
 	res.Energy = stats.DefaultEnergyModel().Energy(machine.Stats, machine.Dir.Stats, p.Cores)
 	return res, nil
+}
+
+// memorySize is the simulated physical memory every run is built over.
+const memorySize = 0x100000
+
+// setupWorkload builds the benchmark, the pre-run memory image, and the
+// workload RNG, positioned exactly where Run consumes it (setup done, feed
+// splits not yet taken). Both Run and SetupImage go through it, so the two
+// can never drift.
+func setupWorkload(p RunParams) (workload.Benchmark, *mem.Memory, *sim.RNG, error) {
+	bench, err := workload.New(p.Benchmark)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	memory := mem.NewMemory(memorySize)
+	rng := sim.NewRNG(p.Seed)
+	if err := bench.Setup(memory, rng, p.Cores); err != nil {
+		return nil, nil, nil, fmt.Errorf("harness: setup %s: %w", p.Benchmark, err)
+	}
+	return bench, memory, rng, nil
+}
+
+// SetupImage replays the deterministic pre-run phase of p — workload setup
+// plus invocation-source generation, which benchmarks use to pre-allocate
+// nodes host-side — on a fresh memory and returns a reader over the image
+// the simulation starts from. Offline checkers (the clearchaos -axiom
+// per-run axiomatic check) use it to resolve loads of never-overwritten
+// locations without re-running the simulation.
+func SetupImage(p RunParams) (func(mem.Addr) uint64, error) {
+	bench, memory, rng, err := setupWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	// Same call sequence as Run: machine construction allocates from memory
+	// (the fallback-lock line), Source may write memory (node pools), and
+	// the RNG split order pins what it writes where.
+	if _, err := cpu.NewMachine(p.SystemConfig(), memory); err != nil {
+		return nil, err
+	}
+	for tid := 0; tid < p.Cores; tid++ {
+		bench.Source(tid, rng.Split(), p.OpsPerThread)
+	}
+	return memory.ReadWord, nil
 }
 
 // arNames collects the AR id -> name map of a benchmark for trace headers.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -34,6 +35,11 @@ type MatrixOptions struct {
 	// atomic counters make it safe to share across the parallel workers
 	// (the clearbench -serve live endpoint feeds from it).
 	Telemetry *trace.Live
+	// Metrics, when non-nil, is attached to every run of the sweep; the
+	// registry's series are all atomics, so one registry aggregates across
+	// the parallel workers (the -serve /metrics endpoint feeds from it).
+	// Cache hits skip simulation and therefore contribute nothing here.
+	Metrics *metrics.Registry
 	// RunDeadline bounds the host wall time of every individual run; zero
 	// means unbounded. A run exceeding it becomes a RunFailure instead of
 	// hanging the sweep.
@@ -249,6 +255,7 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (agg *Ag
 			DisableDiscoveryContinuation: opts.DisableDiscoveryContinuation,
 			SCLLockAllReads:              opts.SCLLockAllReads,
 			Telemetry:                    opts.Telemetry,
+			Metrics:                      opts.Metrics,
 			Deadline:                     opts.RunDeadline,
 		}
 		res, fail, hit := RunCheckedCached(opts.Store, p)

@@ -69,13 +69,14 @@ func (p RunParams) Cacheable() bool {
 	return p.TraceWriter == nil
 }
 
-// cacheRecord is the persisted summary of one successful run: everything a
+// CacheRecord is the persisted summary of one successful run: everything a
 // RunResult carries except the (non-serializable, caller-owned) RunParams.
 // Only integers and shortest-round-trip float64s are stored, so a JSON
 // round trip is exact and a resumed sweep is byte-identical to an
 // uninterrupted one. Failures are never cached: a resumed sweep recomputes
-// missing *and* failed cells.
-type cacheRecord struct {
+// missing *and* failed cells. Exported so offline tools (clearprof diff)
+// can read runstore payloads without re-deriving the schema.
+type CacheRecord struct {
 	// Spec is the canonical encoding the key was derived from, kept for
 	// human auditing of the cache directory (it is not re-verified on read;
 	// the content address already guarantees the match).
@@ -85,6 +86,19 @@ type cacheRecord struct {
 	Energy float64         `json:"energy"`
 	Faults *fault.Stats    `json:"faults,omitempty"`
 	Watch  *WatchdogReport `json:"watch,omitempty"`
+}
+
+// DecodeCacheRecord parses a runstore payload. A payload without stats is
+// rejected: it is either corrupt or from a foreign schema.
+func DecodeCacheRecord(payload []byte) (*CacheRecord, error) {
+	var rec CacheRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("harness: decode cache record: %w", err)
+	}
+	if rec.Stats == nil {
+		return nil, fmt.Errorf("harness: cache record has no stats (corrupt or foreign)")
+	}
+	return &rec, nil
 }
 
 // LookupCached returns the cached result of p from st, if one exists. A nil
@@ -99,8 +113,8 @@ func LookupCached(st *runstore.Store, p RunParams) (*RunResult, bool) {
 	if err != nil || !ok {
 		return nil, false
 	}
-	var rec cacheRecord
-	if err := json.Unmarshal(payload, &rec); err != nil || rec.Stats == nil {
+	rec, err := DecodeCacheRecord(payload)
+	if err != nil {
 		// Corrupt or foreign record: treat as a miss and let the rerun's
 		// Put overwrite it.
 		return nil, false
@@ -121,7 +135,7 @@ func StoreCached(st *runstore.Store, res *RunResult) error {
 		return nil
 	}
 	spec := res.Params.Spec()
-	payload, err := json.Marshal(cacheRecord{
+	payload, err := json.Marshal(CacheRecord{
 		Spec:   spec.Canonical(),
 		Stats:  res.Stats,
 		Dir:    res.Dir,

@@ -21,7 +21,7 @@ var (
 		"Watchdog", "FaultPlan",
 	}
 	specHostSide = []string{
-		"TraceWriter", "TraceMem", "TraceDir", "Telemetry", "Deadline",
+		"TraceWriter", "TraceMem", "TraceDir", "Telemetry", "Metrics", "Deadline",
 	}
 )
 

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteProm renders every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE pair per family, then
+// the series in registration order. Histograms emit cumulative `le`
+// buckets at the log2 bucket upper bounds (only up to the highest
+// populated bucket, to keep the payload proportional to the data), plus
+// the conventional `_sum` and `_count` series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	headered := make(map[string]bool)
+	for _, e := range entries {
+		if !headered[e.name] {
+			headered[e.name] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case kindCounter:
+			writeSeries(bw, e.name, "", e.labels, "", float64(e.c.Value()))
+		case kindGauge:
+			writeSeries(bw, e.name, "", e.labels, "", float64(e.g.Value()))
+		case kindHistogram:
+			writeHistogram(bw, e)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries emits one sample line: name+suffix{labels[,extra]} value.
+func writeSeries(w io.Writer, name, suffix, labels, extra string, v float64) {
+	fmt.Fprintf(w, "%s%s", name, suffix)
+	switch {
+	case labels != "" && extra != "":
+		fmt.Fprintf(w, "{%s,%s}", labels, extra)
+	case labels != "":
+		fmt.Fprintf(w, "{%s}", labels)
+	case extra != "":
+		fmt.Fprintf(w, "{%s}", extra)
+	}
+	fmt.Fprintf(w, " %g\n", v)
+}
+
+func writeHistogram(w io.Writer, e *entry) {
+	h := e.h
+	var counts [histBuckets]uint64
+	top := -1
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		le := fmt.Sprintf(`le="%d"`, bucketUpper(i))
+		writeSeries(w, e.name, "_bucket", e.labels, le, float64(cum))
+	}
+	writeSeries(w, e.name, "_bucket", e.labels, `le="+Inf"`, float64(h.Count()))
+	writeSeries(w, e.name, "_sum", e.labels, "", float64(h.Sum()))
+	writeSeries(w, e.name, "_count", e.labels, "", float64(h.Count()))
+}
+
+// HistSummary is the JSON view of one histogram: count/sum plus derived
+// tail quantiles (log2-bucket upper bounds, clamped to the observed max).
+type HistSummary struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Count  uint64 `json:"count"`
+	Sum    uint64 `json:"sum"`
+	P50    uint64 `json:"p50"`
+	P90    uint64 `json:"p90"`
+	P99    uint64 `json:"p99"`
+	Max    uint64 `json:"max"`
+}
+
+// Summarize derives the JSON summary of h.
+func Summarize(name, labels string, h *Histogram) HistSummary {
+	return HistSummary{
+		Name:   name,
+		Labels: labels,
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		Max:    h.Max(),
+	}
+}
+
+// Sample is the JSON view of one counter or gauge series.
+type Sample struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// Snapshot is a point-in-time JSON view of the whole registry (each series
+// is read atomically; the set is not a single atomic snapshot).
+type Snapshot struct {
+	Counters   []Sample      `json:"counters"`
+	Gauges     []Sample      `json:"gauges"`
+	Histograms []HistSummary `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	var s Snapshot
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, Sample{Name: e.name, Labels: e.labels, Value: int64(e.c.Value())})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, Sample{Name: e.name, Labels: e.labels, Value: e.g.Value()})
+		case kindHistogram:
+			s.Histograms = append(s.Histograms, Summarize(e.name, e.labels, e.h))
+		}
+	}
+	return s
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// JSONHandler serves the snapshot as indented JSON.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

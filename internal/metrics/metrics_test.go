@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{"k", "v"})
+	b := r.Counter("x_total", "ignored on re-register", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("x_total", "help", Label{"k", "w"})
+	if a == other {
+		t.Fatal("different label value returned the same counter")
+	}
+	// Label order must not matter: the rendered form is sorted by key.
+	p := r.Gauge("y", "help", Label{"a", "1"}, Label{"b", "2"})
+	q := r.Gauge("y", "help", Label{"b", "2"}, Label{"a", "1"})
+	if p != q {
+		t.Fatal("label order created distinct series")
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual", "help")
+}
+
+func TestRenderLabels(t *testing.T) {
+	got := renderLabels([]Label{{"zeta", "1"}, {"alpha", `quo"te` + "\n" + `back\slash`}})
+	want := `alpha="quo\"te\nback\\slash",zeta="1"`
+	if got != want {
+		t.Fatalf("renderLabels = %q, want %q", got, want)
+	}
+	if renderLabels(nil) != "" {
+		t.Fatal("empty label set should render empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1 << 40} {
+		h.Observe(v)
+		i := bits.Len64(v)
+		if h.buckets[i].Load() == 0 {
+			t.Fatalf("observe(%d) did not land in bucket %d", v, i)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 0+1+2+3+4+100+(1<<40) {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.Max(); got != 1<<40 {
+		t.Fatalf("max = %d, want %d", got, uint64(1)<<40)
+	}
+	// Values whose bit length exceeds the bucket range clamp into the top
+	// bucket (Len64(^0) == 64 >= histBuckets).
+	h.Observe(^uint64(0))
+	if got := h.buckets[histBuckets-1].Load(); got != 1 {
+		t.Fatalf("top-bucket count = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	var h Histogram
+	// 90 small observations (value 1, bucket 1) and 10 large (value 1000).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.50); got != 1 {
+		t.Fatalf("p50 = %d, want 1 (bucket upper bound for v=1)", got)
+	}
+	// p99 falls in the bucket of 1000 (Len64(1000)=10, upper 1023) but is
+	// clamped to the observed max.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Fatalf("p99 = %d, want 1000 (clamped to max)", got)
+	}
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Fatalf("p100 = %d, want 1000", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clear_ops_total", "Ops.", Label{"kind", "load"}).Add(3)
+	r.Counter("clear_ops_total", "Ops.", Label{"kind", "store"}).Add(1)
+	r.Gauge("clear_active", "Active.").Set(2)
+	h := r.Histogram("clear_ticks", "Ticks.")
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(1) // bucket 1, le="1"
+	h.Observe(5) // bucket 3, le="7"
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// One HELP/TYPE pair per family, even with two labeled series.
+	if n := strings.Count(out, "# HELP clear_ops_total"); n != 1 {
+		t.Fatalf("HELP for clear_ops_total appears %d times:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE clear_ops_total counter"); n != 1 {
+		t.Fatalf("TYPE for clear_ops_total appears %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`clear_ops_total{kind="load"} 3`,
+		`clear_ops_total{kind="store"} 1`,
+		"# TYPE clear_active gauge",
+		"clear_active 2",
+		"# TYPE clear_ticks histogram",
+		`clear_ticks_bucket{le="0"} 1`,
+		`clear_ticks_bucket{le="1"} 2`,
+		`clear_ticks_bucket{le="7"} 3`, // cumulative through the quiet bucket 2
+		`clear_ticks_bucket{le="+Inf"} 3`,
+		"clear_ticks_sum 6",
+		"clear_ticks_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets above the highest populated one are not emitted.
+	if strings.Contains(out, `le="15"`) {
+		t.Errorf("exposition emitted an empty bucket above the top:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help").Add(4)
+	r.Gauge("b", "help").Set(-2)
+	h := r.Histogram("c_ticks", "help", Label{"outcome", "commit"})
+	h.Observe(10)
+	h.Observe(20)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Name != "a_total" || s.Counters[0].Value != 4 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != -2 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	hs := s.Histograms[0]
+	if hs.Name != "c_ticks" || hs.Labels != `outcome="commit"` || hs.Count != 2 || hs.Sum != 30 || hs.Max != 20 {
+		t.Fatalf("histogram summary = %+v", hs)
+	}
+}
+
+func TestInstrumentsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Instruments()
+	b := r.Instruments()
+	if a != b {
+		t.Fatal("Instruments() returned distinct sets")
+	}
+	if a.Commits[0] == nil || a.Aborts[reasonOverflow] == nil {
+		t.Fatal("instrument set has nil series")
+	}
+}

@@ -172,6 +172,59 @@ func (s *Store) remember(key string, payload []byte) {
 	}
 }
 
+// Resolve expands a (possibly abbreviated) hex key prefix to the unique
+// stored key that starts with it, scanning the sharded directory layout.
+// It errors when no record matches or when the prefix is ambiguous —
+// offline tools (clearprof diff) use it to accept short keys the way git
+// accepts short object ids. An empty prefix is rejected.
+func (s *Store) Resolve(prefix string) (string, error) {
+	if prefix == "" {
+		return "", fmt.Errorf("runstore: empty key prefix")
+	}
+	var shards []string
+	if len(prefix) >= 2 {
+		shards = []string{prefix[:2]}
+	} else {
+		des, err := os.ReadDir(s.dir)
+		if err != nil {
+			return "", fmt.Errorf("runstore: %w", err)
+		}
+		for _, de := range des {
+			if de.IsDir() && len(de.Name()) == 2 && de.Name()[:1] == prefix {
+				shards = append(shards, de.Name())
+			}
+		}
+	}
+	var match string
+	for _, shard := range shards {
+		des, err := os.ReadDir(filepath.Join(s.dir, shard))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return "", fmt.Errorf("runstore: %w", err)
+		}
+		for _, de := range des {
+			name := de.Name()
+			if len(name) <= len(".json") || name[len(name)-len(".json"):] != ".json" {
+				continue
+			}
+			key := name[:len(name)-len(".json")]
+			if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+				continue
+			}
+			if match != "" && match != key {
+				return "", fmt.Errorf("runstore: key prefix %q is ambiguous (%s, %s, ...)", prefix, match, key)
+			}
+			match = key
+		}
+	}
+	if match == "" {
+		return "", fmt.Errorf("runstore: no record matches key prefix %q", prefix)
+	}
+	return match, nil
+}
+
 // MemLen returns the number of records currently held by the LRU front.
 func (s *Store) MemLen() int {
 	s.mu.Lock()

@@ -200,3 +200,47 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestStoreResolve(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"aabbccddee00112233",
+		"aab0000000aaaaaaaa", // shares "aab" 2-char shard, diverges at char 3
+		"f100000000bbbbbbbb",
+	}
+	for _, k := range keys {
+		if err := st.Put(k, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Exact key resolves to itself.
+	if got, err := st.Resolve(keys[0]); err != nil || got != keys[0] {
+		t.Fatalf("Resolve(full) = %q, %v", got, err)
+	}
+	// Unambiguous multi-char prefix within a shared shard.
+	if got, err := st.Resolve("aabb"); err != nil || got != keys[0] {
+		t.Fatalf("Resolve(aabb) = %q, %v", got, err)
+	}
+	// Single-character prefix scans shard directories.
+	if got, err := st.Resolve("f"); err != nil || got != keys[2] {
+		t.Fatalf("Resolve(f) = %q, %v", got, err)
+	}
+	// Ambiguous prefix: two keys share "aab".
+	if _, err := st.Resolve("aab"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("Resolve(aab) err = %v, want ambiguity", err)
+	}
+	if _, err := st.Resolve("a"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("Resolve(a) err = %v, want ambiguity", err)
+	}
+	// No match and empty prefix are errors.
+	if _, err := st.Resolve("09"); err == nil || !strings.Contains(err.Error(), "no record") {
+		t.Fatalf("Resolve(09) err = %v, want no-match", err)
+	}
+	if _, err := st.Resolve(""); err == nil {
+		t.Fatal("Resolve(\"\") succeeded, want error")
+	}
+}

@@ -58,7 +58,8 @@ const (
 	// Addr=line.
 	KindConflict
 	// KindLock: a cacheline-lock acquisition attempt completed.
-	// Arg0=outcome (LockOK/LockRetry/LockNack), Addr=line.
+	// Arg0=outcome (LockOK/LockRetry/LockNack), Arg1=responsible holder
+	// core + 1 for Retry/Nack outcomes (0 = unknown), Addr=line.
 	KindLock
 	// KindUnlock: a cacheline lock was released. Addr=line.
 	KindUnlock
@@ -290,6 +291,16 @@ func (e Event) FaultTicks() sim.Tick { return sim.Tick(e.Arg3) }
 
 // LockOutcome returns the outcome of a KindLock event.
 func (e Event) LockOutcome() uint8 { return e.Arg0 }
+
+// LockHolder returns the core reported as responsible for a retried or
+// nacked KindLock event, or -1 when unattributed (success outcomes,
+// injected denials, and traces recorded before holder attribution).
+func (e Event) LockHolder() int {
+	if e.Kind != KindLock || e.Arg1 == 0 {
+		return -1
+	}
+	return int(e.Arg1) - 1
+}
 
 // LockOutcomeString names a KindLock outcome.
 func LockOutcomeString(o uint8) string {

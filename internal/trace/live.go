@@ -29,7 +29,10 @@ type Live struct {
 	memOps      atomic.Uint64
 
 	commitsByMode [6]atomic.Uint64 // indexed by cpu.Mode
-	abortsByRsn   [16]atomic.Uint64
+	// abortsByRsn is indexed by htm.AbortReason; the last slot is a
+	// catch-all overflow bucket so a grown enum degrades to a visible
+	// "overflow" count instead of silently dropping (or corrupting) tallies.
+	abortsByRsn [16]atomic.Uint64
 
 	runsStarted  atomic.Uint64
 	runsFinished atomic.Uint64
@@ -66,10 +69,17 @@ func (l *Live) OnAttemptStart(core int, mode cpu.Mode, attempt int, footprint []
 
 func (l *Live) OnAttemptEnd(info cpu.AttemptEndInfo) {
 	l.aborts.Add(1)
-	if r := int(info.Reason); r < len(l.abortsByRsn) {
-		l.abortsByRsn[r].Add(1)
+	r := int(info.Reason)
+	if r < 0 || r >= abortOverflowBucket {
+		r = abortOverflowBucket
 	}
+	l.abortsByRsn[r].Add(1)
 }
+
+// abortOverflowBucket is the catch-all slot of abortsByRsn; reasons beyond
+// the named enum land here (TestLiveAbortReasonOverflow pins that the enum
+// still fits below it).
+const abortOverflowBucket = 15
 
 func (l *Live) OnCommit(info cpu.CommitInfo) {
 	l.commits.Add(1)
@@ -128,7 +138,11 @@ func (l *Live) Snapshot() LiveSnapshot {
 	}
 	for r := range l.abortsByRsn {
 		if v := l.abortsByRsn[r].Load(); v != 0 {
-			s.AbortsBy[htm.AbortReason(r).String()] = v
+			name := htm.AbortReason(r).String()
+			if r == abortOverflowBucket {
+				name = "overflow"
+			}
+			s.AbortsBy[name] = v
 		}
 	}
 	return s

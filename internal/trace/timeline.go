@@ -196,9 +196,14 @@ func BuildTimeline(meta Meta, evs []Event) *Timeline {
 					o.pending = make(map[mem.LineAddr]int)
 				}
 				if _, waiting := o.pending[line]; !waiting {
-					holder := -1
-					if h, ok := lockHolder[line]; ok {
-						holder = h
+					// Prefer the event-carried holder (exact, from the
+					// directory); fall back to the reconstructed map for
+					// older traces.
+					holder := e.LockHolder()
+					if holder < 0 {
+						if h, ok := lockHolder[line]; ok {
+							holder = h
+						}
 					}
 					o.pending[line] = len(o.span.Waits)
 					o.span.Waits = append(o.span.Waits, Wait{

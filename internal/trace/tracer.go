@@ -284,16 +284,22 @@ func (t *Tracer) OnAccess(core int, line mem.LineAddr, isWrite bool, attrs coher
 	t.emit(KindDirAccess, core, w, flags, 0, uint64(line), 0)
 }
 
-// OnLock records a cacheline-lock acquisition attempt and its outcome.
+// OnLock records a cacheline-lock acquisition attempt and its outcome. For
+// retried/nacked attempts Arg1 carries the responsible holder as holder+1
+// (0 = unknown), feeding the offline wait-chain attribution.
 func (t *Tracer) OnLock(core int, line mem.LineAddr, res coherence.LockResult) {
 	outcome := LockOK
+	var holder uint8
 	switch {
 	case res.Nacked:
 		outcome = LockNack
 	case res.Retry:
 		outcome = LockRetry
 	}
-	t.emit(KindLock, core, outcome, 0, 0, uint64(line), 0)
+	if outcome != LockOK && res.HolderKnown && res.Holder >= 0 && res.Holder < 0xff {
+		holder = uint8(res.Holder + 1)
+	}
+	t.emit(KindLock, core, outcome, holder, 0, uint64(line), 0)
 }
 
 // OnUnlock records a cacheline-lock release.

@@ -7,7 +7,12 @@
 #   BenchmarkDirectoryLockUnlockAll  (internal/coherence) CL lock walk + bulk unlock
 #   BenchmarkHarnessRunHot           (root)             full intruder/ConfigC run
 #   BenchmarkHarnessRunHotTraced     (root)             same run, tracer attached
+#   BenchmarkHarnessRunHotMetrics    (root)             same run, metrics attached
 #   BenchmarkTracerEmit              (internal/trace)   single-event emit cost
+#
+# It also records a small contended trace and embeds clearprof's
+# retry-to-commit latency histogram summary into the entry, so the history
+# tracks the simulated retry cost alongside the host-side numbers.
 #
 # and appends a dated entry to BENCH_hotpath.json in the repo root: the file
 # holds a {"history": [...]} array, newest entry last, so successive runs
@@ -39,8 +44,13 @@ echo "bench_hotpath: harness (intruder/C, 32 cores) ..." >&2
 go test -run xxx -bench 'BenchmarkHarnessRunHot$' -benchtime 5x -benchmem . >"$tmp/harness.txt"
 echo "bench_hotpath: harness traced ..." >&2
 go test -run xxx -bench 'BenchmarkHarnessRunHotTraced$' -benchtime 5x -benchmem . >"$tmp/traced.txt"
+echo "bench_hotpath: harness with metrics ..." >&2
+go test -run xxx -bench 'BenchmarkHarnessRunHotMetrics$' -benchtime 5x -benchmem . >"$tmp/metrics.txt"
 echo "bench_hotpath: tracer emit ..." >&2
 go test -run xxx -bench 'BenchmarkTracerEmit$' -benchmem ./internal/trace/ >"$tmp/emit.txt"
+echo "bench_hotpath: retry-latency profile (hashmap/C, 4 cores) ..." >&2
+go run ./cmd/cleartrace record -bench hashmap -config C -cores 4 -ops 24 -seed 3 -o "$tmp/hot.trace" >/dev/null 2>&1
+go run ./cmd/clearprof profile -json "$tmp/hot.trace" | jq -c '.retry_latency' >"$tmp/retrylat.json"
 
 # extract <file> <benchmark-regex> -> "ns_per_op allocs_per_op bytes_per_op"
 extract() {
@@ -53,6 +63,7 @@ read -r dir4096_ns _ _ < <(extract "$tmp/dir.txt" 'lines4096')
 read -r dir65536_ns _ _ < <(extract "$tmp/dir.txt" 'lines65536')
 read -r run_ns run_allocs run_bytes < <(extract "$tmp/harness.txt" '^BenchmarkHarnessRunHot')
 read -r traced_ns traced_allocs traced_bytes < <(extract "$tmp/traced.txt" '^BenchmarkHarnessRunHotTraced')
+read -r met_ns met_allocs met_bytes < <(extract "$tmp/metrics.txt" '^BenchmarkHarnessRunHotMetrics')
 read -r emit_ns emit_allocs emit_bytes < <(extract "$tmp/emit.txt" '^BenchmarkTracerEmit')
 
 # Tracing overhead contract. The detached-run allocation budget is the
@@ -66,11 +77,15 @@ if [ "$run_allocs" -gt "$alloc_budget" ]; then
   echo "bench_hotpath: FAIL: HarnessRunHot allocs/op $run_allocs exceeds budget $alloc_budget (tracer detached)" >&2
   exit 1
 fi
+if [ "$met_allocs" -gt "$alloc_budget" ]; then
+  echo "bench_hotpath: FAIL: HarnessRunHotMetrics allocs/op $met_allocs exceeds budget $alloc_budget (metrics attached)" >&2
+  exit 1
+fi
 if [ "$emit_allocs" -ne 0 ]; then
   echo "bench_hotpath: FAIL: TracerEmit allocs/op $emit_allocs != 0 (emit path must not allocate)" >&2
   exit 1
 fi
-echo "bench_hotpath: alloc budget ok (detached $run_allocs <= $alloc_budget, emit $emit_allocs)" >&2
+echo "bench_hotpath: alloc budget ok (detached $run_allocs <= $alloc_budget, metrics $met_allocs <= $alloc_budget, emit $emit_allocs)" >&2
 
 speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
@@ -103,11 +118,17 @@ cat >"$entry" <<EOF
       "after": { "ns_per_op": $traced_ns, "allocs_per_op": $traced_allocs, "bytes_per_op": $traced_bytes },
       "overhead_vs_detached": $(speedup "$traced_ns" "$run_ns")
     },
+    "HarnessRunHotMetrics": {
+      "config": "intruder/ConfigC, 32 cores, 120 ops/thread, metrics registry attached",
+      "after": { "ns_per_op": $met_ns, "allocs_per_op": $met_allocs, "bytes_per_op": $met_bytes },
+      "overhead_vs_detached": $(speedup "$met_ns" "$run_ns")
+    },
     "TracerEmit": {
       "after": { "ns_per_op": $emit_ns, "allocs_per_op": $emit_allocs, "bytes_per_op": $emit_bytes },
       "note": "per-event encode+append; must be 0 allocs/op"
     }
-  }
+  },
+  "retry_latency": $(cat "$tmp/retrylat.json")
 }
 EOF
 
