@@ -12,12 +12,23 @@
 //	clearbench -ablation discovery|lockall
 //	clearbench -cache-dir .clearcache          # memoize every cell run
 //	clearbench -cache-dir .clearcache -resume  # resume a cancelled sweep
+//	clearbench -serve :6070 -cache-dir .farm   # sweep-farm server
+//	clearbench -quick -remote localhost:6070   # run the sweep on that farm
 //
 // With -cache-dir, every (benchmark, config, retry, seed) run is served from
 // the content-addressed run cache when its parameters match a previous run
 // bit-for-bit; a sweep interrupted by SIGINT (or a crash) re-run with the
 // same -cache-dir recomputes only the missing cells. -no-cache bypasses the
 // store entirely.
+//
+// -serve turns the process into a farm server (internal/farm): an HTTP job
+// queue whose workers execute submitted runs through the same cache, with
+// bounded retry/backoff for host-side flakiness, quarantine for specs that
+// exhaust their budget, and graceful drain on SIGINT/SIGTERM. A killed
+// server restarted with the same -cache-dir resumes its campaigns. -remote
+// points a sweep at such a server: cells execute farm-side, progress streams
+// from the farm's telemetry, and the tables, figures, and CSVs come out
+// byte-identical to a local run.
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/prof"
@@ -53,11 +66,16 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write the matrix cells as CSV to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		serve    = flag.String("serve", "", "serve live run telemetry on this address (e.g. localhost:6070); endpoints: /telemetry, /metrics, /metrics.json, /debug/vars")
+		serve    = flag.String("serve", "", "run as a sweep-farm server on this address (e.g. localhost:6070) instead of sweeping locally; endpoints: /jobs, /matrix, /quarantine, /farm, /telemetry, /metrics, /debug/vars")
 		deadline = flag.Duration("run-deadline", 0, "host wall-time deadline per individual run; an exceeding run becomes an isolated failure instead of hanging the sweep (0 = none)")
 	)
 	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
+	serviceFlags := cliutil.AddServiceFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := serviceFlags.Validate(*serve, sweepFlags); err != nil {
+		cliutil.Usage(err)
+	}
 
 	stop, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -65,6 +83,12 @@ func main() {
 	}
 	cliutil.OnExit(stop)
 	defer stop()
+
+	// Farm server mode: serve the job queue until drained; no local sweep.
+	if *serve != "" {
+		runFarmServer(*serve, sweepFlags, *deadline)
+		return
+	}
 
 	// The static tables need no simulation.
 	if *table == 1 {
@@ -122,38 +146,24 @@ func main() {
 	if err != nil {
 		cliutil.Usage(err)
 	}
-	opts.Store = store
 	if store != nil {
+		// Guarded assignment: a typed-nil *Store inside the Backend
+		// interface would read as attached.
+		opts.Store = store
 		fmt.Fprintf(os.Stderr, "clearbench: run cache at %s\n", store.Dir())
 	}
 
-	var srv *http.Server
-	if *serve != "" {
-		live := trace.NewLive()
-		live.Publish() // expvar: /debug/vars
-		opts.Telemetry = live
-		reg := metrics.NewRegistry()
-		opts.Metrics = reg
-		mux := http.NewServeMux()
-		mux.Handle("/telemetry", live.Handler())
-		mux.Handle("/metrics", reg.Handler())
-		mux.Handle("/metrics.json", reg.JSONHandler())
-		mux.Handle("/debug/vars", expvar.Handler())
-		srv = &http.Server{
-			Addr:              *serve,
-			Handler:           mux,
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       10 * time.Second,
-			WriteTimeout:      30 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-		}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "clearbench: telemetry server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "clearbench: live telemetry on http://%s/telemetry, metrics on /metrics\n", *serve)
+	// Remote mode: every cell executes on the farm server; the local process
+	// keeps only the aggregation, best-of selection, and rendering — which is
+	// exactly what makes the remote output byte-identical to a local run.
+	remoteStop := func() {}
+	if *serviceFlags.Remote != "" {
+		client := farm.NewClient(*serviceFlags.Remote)
+		opts.Runner = client.Runner()
+		remoteStop = startRemoteProgress(client)
+		fmt.Fprintf(os.Stderr, "clearbench: executing on farm at %s\n", *serviceFlags.Remote)
 	}
+	defer remoteStop()
 
 	if *sweep {
 		sw, err := harness.RunRetrySweep(opts)
@@ -179,17 +189,6 @@ func main() {
 		signal.Stop(sigCh)
 		close(cancel)
 	}()
-	shutdown := func() {
-		signal.Stop(sigCh)
-		if srv != nil {
-			ctx, done := context.WithTimeout(context.Background(), 3*time.Second)
-			defer done()
-			if err := srv.Shutdown(ctx); err != nil {
-				fmt.Fprintln(os.Stderr, "clearbench: telemetry shutdown:", err)
-			}
-		}
-	}
-
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "clearbench: running matrix: %d benchmarks x %d configs x %d retry limits x %d seeds (%d cores, %d ops/thread)\n",
 		len(opts.Benchmarks), len(opts.Configs), len(opts.RetryLimits), len(opts.Seeds), opts.Cores, opts.OpsPerThread)
@@ -197,7 +196,8 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
-	shutdown()
+	signal.Stop(sigCh)
+	remoteStop()
 	interrupted := false
 	select {
 	case <-cancel:
@@ -281,5 +281,108 @@ func main() {
 	}
 	if len(m.Failures) > 0 {
 		cliutil.Exit(cliutil.ExitFailure)
+	}
+}
+
+// runFarmServer runs the process as a sweep-farm server (internal/farm):
+// an HTTP job queue over the run cache selected by the sweep flags. The
+// first SIGINT/SIGTERM drains gracefully — no new jobs, accepted ones
+// finish (jobs waiting out a retry backoff run immediately) — and the
+// process exits once the queue is empty; a second signal kills it through
+// the default handler, which with -cache-dir loses nothing but in-flight
+// work: a restart over the same directory resumes the campaign.
+func runFarmServer(addr string, sweepFlags *cliutil.SweepFlags, jobDeadline time.Duration) {
+	store, err := sweepFlags.Store()
+	if err != nil {
+		cliutil.Usage(err)
+	}
+	live := trace.NewLive()
+	live.Publish() // expvar: /debug/vars
+	cfg := farm.Config{
+		Retry:       farm.DefaultRetryPolicy(),
+		JobDeadline: jobDeadline,
+		Telemetry:   live,
+		Metrics:     metrics.NewRegistry(),
+	}
+	if store != nil {
+		cfg.Store = store
+		fmt.Fprintf(os.Stderr, "clearbench: farm result store at %s\n", store.Dir())
+	} else {
+		fmt.Fprintln(os.Stderr, "clearbench: farm has no -cache-dir: results are not durable, a restart recomputes everything")
+	}
+	fs := farm.NewServer(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", fs.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		signal.Stop(sigCh) // a second signal kills via the default handler
+		fmt.Fprintf(os.Stderr, "\nclearbench: %s — draining farm: rejecting new jobs, finishing accepted ones (send again to kill)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		if err := fs.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "clearbench: drain:", err)
+		}
+		fs.Close()
+		shutCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "clearbench: farm serving on http://%s (POST /matrix, GET /farm, /quarantine, /telemetry, /metrics)\n", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		cliutil.Fatal(err)
+	}
+	st := fs.Stats()
+	fmt.Fprintf(os.Stderr, "clearbench: farm drained: %d done, %d failed, %d quarantined | %d executions, %d cache hits, %d retries scheduled, %d dedup attaches\n",
+		st.Done, st.Failed, st.Quarantined, st.Executed, st.CacheHits, st.RetriesScheduled, st.DedupAttached)
+}
+
+// startRemoteProgress streams sweep progress from the farm's live telemetry
+// to stderr until the returned (idempotent) stop function is called.
+func startRemoteProgress(client *farm.Client) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				st, err := client.FarmStats()
+				if err != nil {
+					continue
+				}
+				snap, err := client.Telemetry()
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "clearbench: farm %d/%d jobs done (%d running, %d queued, %d backoff, %d quarantined) | %d runs finished, %d cache hits\n",
+					st.Done, st.Total(), st.Running, st.Queued, st.Backoff, st.Quarantined,
+					snap.RunsFinished, snap.CacheHits)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
 	}
 }

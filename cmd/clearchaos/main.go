@@ -113,6 +113,12 @@ func main() {
 	if err != nil {
 		cliutil.Usage(err)
 	}
+	// Guarded assignment: a typed-nil *Store inside the Backend interface
+	// would read as attached.
+	var backend runstore.Backend
+	if store != nil {
+		backend = store
+	}
 
 	os.Exit(campaign(campaignOpts{
 		runs:     *runs,
@@ -129,7 +135,7 @@ func main() {
 		axiom:    *axiom,
 		expect:   *expect,
 		verbose:  *verbose,
-		store:    store,
+		store:    backend,
 	}))
 }
 
@@ -157,7 +163,7 @@ type campaignOpts struct {
 	// replay skips the simulation of every run whose (plan, seed, machine)
 	// tuple already has a clean cached record — only failures (never
 	// cached) and new cells execute.
-	store *runstore.Store
+	store runstore.Backend
 }
 
 // report accumulates campaign-wide degradation statistics.

@@ -112,6 +112,45 @@ func AddSweepFlags(fs *flag.FlagSet) *SweepFlags {
 	}
 }
 
+// ServiceFlags is the farm flag group (-remote) shared by the sweep drivers
+// that can hand execution to a farm server (internal/farm).
+type ServiceFlags struct {
+	Remote *string
+}
+
+// AddServiceFlags registers the farm flag group on fs.
+func AddServiceFlags(fs *flag.FlagSet) *ServiceFlags {
+	return &ServiceFlags{
+		Remote: fs.String("remote", "", "execute every run on the farm server at this address (host:port or URL) instead of locally; see -serve"),
+	}
+}
+
+// Validate enforces the service flag algebra at parse time, before any
+// simulation runs. A process is either a farm client (-remote) or a farm
+// server (-serve), never both; and a farm client has no say over caching —
+// the store lives server-side — so the local cache flags are rejected
+// rather than silently ignored. Callers route the error through Usage
+// (exit 2).
+func (s *ServiceFlags) Validate(serve string, sweep *SweepFlags) error {
+	if *s.Remote == "" {
+		return nil
+	}
+	if serve != "" {
+		return fmt.Errorf("-remote and -serve are mutually exclusive: one process is a farm client or a farm server, not both")
+	}
+	if sweep != nil {
+		switch {
+		case *sweep.NoCache:
+			return fmt.Errorf("-remote with -no-cache: caching is the farm server's decision; start the server without -cache-dir instead")
+		case *sweep.Resume:
+			return fmt.Errorf("-remote with -resume: resume happens server-side (restart the farm with its -cache-dir)")
+		case *sweep.CacheDir != "":
+			return fmt.Errorf("-remote with -cache-dir: the run cache lives on the farm server (pass -cache-dir to -serve)")
+		}
+	}
+	return nil
+}
+
 // Store opens the run cache selected by the flags; nil (with nil error)
 // means caching is off. A missing directory is only an error under -resume —
 // resuming from a cache that does not exist is a typo, not a cold start.

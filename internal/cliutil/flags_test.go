@@ -79,3 +79,39 @@ func TestSweepFlagsStore(t *testing.T) {
 		t.Fatalf("-resume on an existing cache: store=%v err=%v", st, err)
 	}
 }
+
+func TestServiceFlagsValidate(t *testing.T) {
+	parse := func(t *testing.T, args ...string) (*ServiceFlags, *SweepFlags) {
+		t.Helper()
+		fs := newFlagSet()
+		sw := AddSweepFlags(fs)
+		sv := AddServiceFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return sv, sw
+	}
+
+	// No -remote: everything is allowed, including -serve.
+	if sv, sw := parse(t, "-no-cache"); sv.Validate("localhost:6070", sw) != nil {
+		t.Fatal("validation rejected a server-mode flag set")
+	}
+	// -remote alone is fine.
+	if sv, sw := parse(t, "-remote", "localhost:6070"); sv.Validate("", sw) != nil {
+		t.Fatal("validation rejected a plain -remote")
+	}
+	// -remote + -serve: one process cannot be client and server.
+	if sv, sw := parse(t, "-remote", "a:1"); sv.Validate("b:2", sw) == nil {
+		t.Fatal("-remote with -serve did not error")
+	}
+	// -remote rejects every local cache flag rather than ignoring it.
+	for _, args := range [][]string{
+		{"-remote", "a:1", "-no-cache"},
+		{"-remote", "a:1", "-cache-dir", "x"},
+		{"-remote", "a:1", "-resume"},
+	} {
+		if sv, sw := parse(t, args...); sv.Validate("", sw) == nil {
+			t.Fatalf("%v did not error", args)
+		}
+	}
+}

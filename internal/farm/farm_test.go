@@ -1,0 +1,453 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/runstore"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// quickSpec is a tiny valid spec; tests pair it with fake executors, so only
+// its validity and key identity matter, not its simulated cost.
+func quickSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Benchmark:    "hashmap",
+		Config:       "C",
+		Cores:        2,
+		OpsPerThread: 4,
+		RetryLimit:   2,
+		Seed:         seed,
+		MaxTicks:     1_000_000,
+	}
+}
+
+// okExec fabricates a successful result without simulating.
+func okExec(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+	return &harness.RunResult{
+		Params: p,
+		Stats:  &stats.Run{Cycles: 42, Commits: 1},
+	}, nil
+}
+
+// fastRetry keeps test retries on the microsecond scale.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxRetries: 2, InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, JitterFrac: -1}
+}
+
+func TestFarmDedupInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv := NewServer(Config{
+		Workers: 2,
+		Retry:   fastRetry(),
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			once.Do(func() { close(started) })
+			<-release
+			return okExec(p)
+		},
+	})
+	defer srv.Close()
+
+	st1, err := srv.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the job is on a worker, mid-execution
+	st2, err := srv.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatalf("duplicate submit: %v", err)
+	}
+	if st1.Key != st2.Key {
+		t.Fatalf("identical specs got different keys: %s vs %s", st1.Key, st2.Key)
+	}
+	if st2.State != StateRunning {
+		t.Fatalf("duplicate attached in state %s, want running", st2.State)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fin, err := srv.WaitJob(ctx, st1.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s, want done", fin.State)
+	}
+	fs := srv.Stats()
+	if fs.Executed != 1 {
+		t.Fatalf("dedup'd spec executed %d times, want 1", fs.Executed)
+	}
+	if fs.DedupAttached != 1 {
+		t.Fatalf("DedupAttached = %d, want 1", fs.DedupAttached)
+	}
+}
+
+func TestFarmRetryThenSucceed(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	srv := NewServer(Config{
+		Workers: 1,
+		Retry:   fastRetry(),
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			mu.Lock()
+			calls++
+			first := calls == 1
+			mu.Unlock()
+			if first {
+				panic("injected worker crash")
+			}
+			return okExec(p)
+		},
+	})
+	defer srv.Close()
+
+	st, err := srv.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fin, err := srv.WaitJob(ctx, st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state %s (failure %q), want done after one retry", fin.State, fin.Failure)
+	}
+	if fin.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", fin.Attempts)
+	}
+	rec, err := harness.DecodeCacheRecord(fin.Result)
+	if err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if rec.Stats.Cycles != 42 {
+		t.Fatalf("decoded cycles = %d, want 42", rec.Stats.Cycles)
+	}
+	if fs := srv.Stats(); fs.RetriesScheduled != 1 {
+		t.Fatalf("RetriesScheduled = %d, want 1", fs.RetriesScheduled)
+	}
+}
+
+func TestFarmQuarantineAfterBudget(t *testing.T) {
+	srv := NewServer(Config{
+		Workers: 2,
+		Retry:   fastRetry(), // MaxRetries 2 -> 3 attempts total
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			if p.Seed == 13 {
+				panic("injected: this spec always crashes")
+			}
+			return okExec(p)
+		},
+	})
+	defer srv.Close()
+
+	bad, err := srv.Submit(quickSpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := srv.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	finBad, err := srv.WaitJob(ctx, bad.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finGood, err := srv.WaitJob(ctx, good.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finGood.State != StateDone {
+		t.Fatalf("healthy spec ended %s — the poisoned one must not take the farm down", finGood.State)
+	}
+	if finBad.State != StateQuarantined {
+		t.Fatalf("poisoned spec ended %s, want quarantined", finBad.State)
+	}
+	if finBad.Attempts != 3 {
+		t.Fatalf("poisoned spec got %d attempts, want 3 (1 + 2 retries)", finBad.Attempts)
+	}
+	if !strings.Contains(finBad.Failure, "worker panic") {
+		t.Fatalf("quarantine reason %q does not name the panic", finBad.Failure)
+	}
+	q := srv.Quarantine()
+	if len(q) != 1 || q[0].Key != bad.Key {
+		t.Fatalf("quarantine report = %+v, want exactly the poisoned spec", q)
+	}
+
+	// The breaker is open: a resubmission attaches to the quarantine record
+	// instead of re-entering the queue.
+	again, err := srv.Submit(quickSpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateQuarantined {
+		t.Fatalf("resubmitted poisoned spec state %s, want quarantined", again.State)
+	}
+	if fs := srv.Stats(); fs.Executed != 4 {
+		t.Fatalf("executed %d runs, want 4 (3 poisoned attempts + 1 healthy)", fs.Executed)
+	}
+}
+
+func TestFarmNonRetryableFailsImmediately(t *testing.T) {
+	srv := NewServer(Config{
+		Workers: 1,
+		Retry:   fastRetry(),
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			return nil, &harness.RunFailure{
+				Benchmark: p.Benchmark, Config: p.Config, RetryLimit: p.RetryLimit, Seed: p.Seed,
+				Reason: "check: 1 invariant violation(s)",
+			}
+		},
+	})
+	defer srv.Close()
+
+	st, err := srv.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fin, err := srv.WaitJob(ctx, st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed {
+		t.Fatalf("oracle violation ended %s, want failed (never retried)", fin.State)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("oracle violation got %d attempts, want exactly 1", fin.Attempts)
+	}
+	if fin.Retryable {
+		t.Fatal("oracle violation classified retryable")
+	}
+}
+
+func TestFarmDrain(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[uint64]int{}
+	srv := NewServer(Config{
+		Workers: 2,
+		// Retries nominally wait 10s — drain must promote them instead.
+		Retry: RetryPolicy{MaxRetries: 1, InitialBackoff: 10 * time.Second, MaxBackoff: 10 * time.Second, JitterFrac: -1},
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			mu.Lock()
+			calls[p.Seed]++
+			first := calls[p.Seed] == 1
+			mu.Unlock()
+			if p.Seed == 7 && first {
+				panic("injected: fail once, succeed on the drain-promoted retry")
+			}
+			time.Sleep(5 * time.Millisecond)
+			return okExec(p)
+		},
+	})
+	defer srv.Close()
+
+	for _, seed := range []uint64{1, 2, 3, 7} {
+		if _, err := srv.Submit(quickSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the seed-7 job reach its 10s backoff before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Backoff == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("seed-7 job never entered backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if _, err := srv.Submit(quickSpec(99)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+	// A duplicate of accepted work still attaches while draining.
+	if st, err := srv.Submit(quickSpec(1)); err != nil || st.State != StateDone {
+		t.Fatalf("duplicate during drain: st=%+v err=%v, want done", st, err)
+	}
+	fs := srv.Stats()
+	if fs.Done != 4 || fs.Queued+fs.Running+fs.Backoff != 0 {
+		t.Fatalf("after drain: %+v, want 4 done and an empty queue", fs)
+	}
+}
+
+func TestFarmStoreResume(t *testing.T) {
+	store := runstore.NewMem()
+	live := trace.NewLive()
+	a := NewServer(Config{Workers: 1, Retry: fastRetry(), Store: store, Exec: okExec})
+	st, err := a.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fin, err := a.WaitJob(ctx, st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if fin.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d records after first run, want 1", store.Len())
+	}
+
+	// A fresh server over the same store serves the spec without executing:
+	// this lookup is exactly what makes a killed farm resume.
+	b := NewServer(Config{Workers: 1, Retry: fastRetry(), Store: store, Telemetry: live,
+		Exec: func(p harness.RunParams) (*harness.RunResult, *harness.RunFailure) {
+			t.Error("resumed server re-executed a memoized spec")
+			return okExec(p)
+		}})
+	defer b.Close()
+	st2, err := b.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2, err := b.WaitJob(ctx, st2.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin2.State != StateDone || !fin2.CacheHit {
+		t.Fatalf("resumed job: state=%s hit=%v, want done from cache", fin2.State, fin2.CacheHit)
+	}
+	if string(fin2.Result) != string(fin.Result) {
+		t.Fatal("resumed result bytes differ from the original execution")
+	}
+	if snap := live.Snapshot(); snap.CacheHits != 1 {
+		t.Fatalf("telemetry cache hits = %d, want 1", snap.CacheHits)
+	}
+}
+
+func TestFarmHTTPAndClient(t *testing.T) {
+	srv := NewServer(Config{Workers: 2, Retry: fastRetry(), Store: runstore.NewMem(),
+		Telemetry: trace.NewLive(), Exec: okExec})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.PollInterval = time.Millisecond
+	c.WaitTimeout = 5 * time.Second
+
+	resp, err := c.SubmitMatrix(MatrixRequest{
+		Benchmarks:   []string{"hashmap"},
+		Configs:      []string{"B", "C"},
+		RetryLimits:  []int{2},
+		Seeds:        []uint64{1, 2},
+		Cores:        2,
+		OpsPerThread: 4,
+		MaxTicks:     1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Jobs) != 4 {
+		t.Fatalf("matrix expanded to %d jobs, want 4", len(resp.Jobs))
+	}
+	for _, key := range resp.Jobs {
+		fin, err := c.Wait(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %s ended %s: %s", key, fin.State, fin.Failure)
+		}
+		if _, err := harness.DecodeCacheRecord(fin.Result); err != nil {
+			t.Fatalf("job %s result: %v", key, err)
+		}
+	}
+	fs, err := c.FarmStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Done != 4 || fs.Total() != 4 {
+		t.Fatalf("farm stats %+v, want 4 done", fs)
+	}
+	q, err := c.QuarantineReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 0 {
+		t.Fatalf("quarantine report has %d entries, want 0", len(q))
+	}
+	if _, err := c.Telemetry(); err != nil {
+		t.Fatalf("telemetry endpoint: %v", err)
+	}
+	if _, err := c.Status("no-such-key"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown key: err = %v, want terminal 404", err)
+	}
+	badReq, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"benchmark":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badReq.Body.Close()
+	if badReq.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty benchmark got HTTP %d, want 400", badReq.StatusCode)
+	}
+}
+
+// droppingTransport fails every other round trip at the connection level —
+// the wire the chaos spec's "dropped connections" clause is about.
+type droppingTransport struct {
+	mu   sync.Mutex
+	n    int
+	next http.RoundTripper
+}
+
+func (d *droppingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	d.mu.Lock()
+	d.n++
+	drop := d.n%2 == 1
+	d.mu.Unlock()
+	if drop {
+		return nil, fmt.Errorf("injected: connection reset by peer")
+	}
+	return d.next.RoundTrip(r)
+}
+
+func TestClientSurvivesDroppedConnections(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, Retry: fastRetry(), Exec: okExec})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.HTTP = &http.Client{Transport: &droppingTransport{next: http.DefaultTransport}}
+	c.RetryDelay = time.Millisecond
+	c.PollInterval = time.Millisecond
+	c.WaitTimeout = 5 * time.Second
+
+	st, err := c.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatalf("submit through flaky wire: %v", err)
+	}
+	fin, err := c.Wait(st.Key)
+	if err != nil {
+		t.Fatalf("wait through flaky wire: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s, want done", fin.State)
+	}
+}

@@ -54,9 +54,23 @@ type MatrixOptions struct {
 	// functions of their RunParams, a cancelled or crashed sweep restarted
 	// with the same store recomputes only the missing and failed cells —
 	// resume semantics fall out of caching. Safe to share across the
-	// parallel workers.
-	Store *runstore.Store
+	// parallel workers. Any Backend works: the local sharded directory, the
+	// in-memory Mem, or a remote store. Leave nil when Runner is set (the
+	// runner owns execution, including any caching).
+	Store runstore.Backend
+	// Runner, when non-nil, replaces the local execute-one-run path
+	// (RunCheckedCached against Store) for every seed run of the sweep. The
+	// farm client plugs in here: the same aggregation, best-of selection,
+	// and CSV code runs over results produced anywhere, which is what makes
+	// a remote sweep byte-identical to a local one. Must be safe for
+	// concurrent calls from the parallel workers.
+	Runner RunnerFunc
 }
+
+// RunnerFunc executes one run of a sweep and reports the result, the
+// isolated failure (exactly one of the two is non-nil), and whether the
+// result was served from a cache — local or remote — rather than simulated.
+type RunnerFunc func(p RunParams) (res *RunResult, fail *RunFailure, cacheHit bool)
 
 // DefaultMatrixOptions is the full evaluation at laptop scale: all 19
 // benchmarks, 32 simulated cores, three seeds, and a coarse retry sweep.
@@ -242,6 +256,12 @@ func betterAggregate(cur, cand *Aggregate) bool {
 // the survivors and is nil when every seed failed. hits/misses count the
 // cache consults of this cell's seed runs.
 func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (agg *Aggregate, fails []RunFailure, hits, misses int) {
+	run := opts.Runner
+	if run == nil {
+		run = func(p RunParams) (*RunResult, *RunFailure, bool) {
+			return RunCheckedCached(opts.Store, p)
+		}
+	}
 	results := make([]*RunResult, 0, len(opts.Seeds))
 	for _, seed := range opts.Seeds {
 		p := RunParams{
@@ -258,10 +278,10 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (agg *Ag
 			Metrics:                      opts.Metrics,
 			Deadline:                     opts.RunDeadline,
 		}
-		res, fail, hit := RunCheckedCached(opts.Store, p)
+		res, fail, hit := run(p)
 		if hit {
 			hits++
-		} else if opts.Store != nil {
+		} else if opts.Store != nil || opts.Runner != nil {
 			misses++
 		}
 		if fail != nil {

@@ -105,7 +105,7 @@ func DecodeCacheRecord(payload []byte) (*CacheRecord, error) {
 // store, an uncacheable run, or an undecodable record all report a miss; the
 // caller falls back to simulating. The restored RunResult carries p itself
 // as Params, so aggregation code is oblivious to where the result came from.
-func LookupCached(st *runstore.Store, p RunParams) (*RunResult, bool) {
+func LookupCached(st runstore.Backend, p RunParams) (*RunResult, bool) {
 	if st == nil || !p.Cacheable() {
 		return nil, false
 	}
@@ -129,14 +129,12 @@ func LookupCached(st *runstore.Store, p RunParams) (*RunResult, bool) {
 	}, true
 }
 
-// StoreCached persists a successful run result under its spec key.
-func StoreCached(st *runstore.Store, res *RunResult) error {
-	if st == nil || res == nil || !res.Params.Cacheable() {
-		return nil
-	}
-	spec := res.Params.Spec()
+// EncodeCacheRecord renders the persisted JSON form of a successful run
+// result — the exact bytes StoreCached writes and the farm server returns to
+// remote clients, so both sides of the wire decode one schema.
+func EncodeCacheRecord(res *RunResult) ([]byte, error) {
 	payload, err := json.Marshal(CacheRecord{
-		Spec:   spec.Canonical(),
+		Spec:   res.Params.Spec().Canonical(),
 		Stats:  res.Stats,
 		Dir:    res.Dir,
 		Energy: res.Energy,
@@ -144,9 +142,21 @@ func StoreCached(st *runstore.Store, res *RunResult) error {
 		Watch:  res.Watch,
 	})
 	if err != nil {
-		return fmt.Errorf("harness: encode cache record: %w", err)
+		return nil, fmt.Errorf("harness: encode cache record: %w", err)
 	}
-	return st.Put(spec.Key(), payload)
+	return payload, nil
+}
+
+// StoreCached persists a successful run result under its spec key.
+func StoreCached(st runstore.Backend, res *RunResult) error {
+	if st == nil || res == nil || !res.Params.Cacheable() {
+		return nil
+	}
+	payload, err := EncodeCacheRecord(res)
+	if err != nil {
+		return err
+	}
+	return st.Put(res.Params.Spec().Key(), payload)
 }
 
 // RunCheckedCached is RunChecked behind the run cache: it consults st before
@@ -157,7 +167,7 @@ func StoreCached(st *runstore.Store, res *RunResult) error {
 // un-memoized); the error is folded into nothing because every consumer
 // would ignore it — a persistently unwritable store surfaces through the
 // sweep's 0% hit rate instead.
-func RunCheckedCached(st *runstore.Store, p RunParams) (res *RunResult, fail *RunFailure, hit bool) {
+func RunCheckedCached(st runstore.Backend, p RunParams) (res *RunResult, fail *RunFailure, hit bool) {
 	if r, ok := LookupCached(st, p); ok {
 		if p.Telemetry != nil {
 			p.Telemetry.CacheHit()

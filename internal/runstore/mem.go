@@ -1,0 +1,51 @@
+package runstore
+
+import "sync"
+
+// Mem is the in-memory Backend: a plain locked map with no persistence. It
+// backs tests and ephemeral farm servers (a farm whose whole value is the
+// in-flight dedup, not the durable cache), and doubles as the reference
+// implementation for remote backends — anything that behaves like Mem
+// behaves like the harness expects.
+type Mem struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+var _ Backend = (*Mem)(nil)
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{m: make(map[string][]byte)}
+}
+
+// Get returns the payload stored under key.
+func (s *Mem) Get(key string) (payload []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[key]
+	return p, ok, nil
+}
+
+// Put stores payload under key, overwriting any previous record.
+func (s *Mem) Put(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Contains reports whether key has a record.
+func (s *Mem) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[key]
+	return ok
+}
+
+// Len returns the number of stored records.
+func (s *Mem) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -2,12 +2,32 @@ package runstore
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
+
+// Backend is the pluggable result-store interface the harness and the sweep
+// farm memoize runs through: opaque JSON payloads keyed by RunSpec.Key().
+// *Store is the local-directory implementation and Mem the in-memory one
+// (tests, ephemeral farms); S3/redis-style remote stores can slot in without
+// touching the harness. Implementations must be safe for concurrent use —
+// they sit behind the matrix worker pool and the farm's worker fleet.
+type Backend interface {
+	// Get returns the payload cached under key, or ok=false on a miss.
+	Get(key string) (payload []byte, ok bool, err error)
+	// Put persists payload under key; re-putting an existing key overwrites
+	// it (identical specs produce identical payloads, so last-writer-wins is
+	// harmless).
+	Put(key string, payload []byte) error
+	// Contains reports whether a record for key exists without reading it.
+	Contains(key string) bool
+}
+
+var _ Backend = (*Store)(nil)
 
 // DefaultMemEntries bounds the in-memory LRU front of a store opened with
 // Open. At ~1–2 KiB per cached run summary this is a few MiB of hot records —
@@ -34,8 +54,9 @@ type Store struct {
 	lru *list.List // front = most recently used
 	idx map[string]*list.Element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
 }
 
 type lruEntry struct {
@@ -83,6 +104,12 @@ func (s *Store) path(key string) string {
 // no such record. A hit from disk is promoted into the LRU front. I/O errors
 // other than non-existence are returned (and counted as misses): a permission
 // problem should surface, not silently force recomputation forever.
+//
+// A record that is not valid JSON — truncated by a crash that outran the
+// temp+rename protocol (a torn shard copied from another host, a disk-level
+// corruption) — is quarantined to <key>.corrupt in its shard directory and
+// reported as a plain miss: the caller recomputes and the next Put lays down
+// a fresh record, while the corpse stays inspectable beside it.
 func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 	s.mu.Lock()
 	if el, found := s.idx[key]; found {
@@ -102,9 +129,25 @@ func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 		}
 		return nil, false, fmt.Errorf("runstore: read %s: %w", key, rerr)
 	}
+	if !json.Valid(data) {
+		s.misses.Add(1)
+		s.quarantineCorrupt(key)
+		return nil, false, nil
+	}
 	s.remember(key, data)
 	s.hits.Add(1)
 	return data, true, nil
+}
+
+// quarantineCorrupt moves the undecodable record of key out of the lookup
+// path (best effort; a failed rename still leaves Get reporting a miss, the
+// rerun's Put overwrites in place).
+func (s *Store) quarantineCorrupt(key string) {
+	src := s.path(key)
+	dst := src[:len(src)-len(".json")] + ".corrupt"
+	if err := os.Rename(src, dst); err == nil {
+		s.corrupt.Add(1)
+	}
 }
 
 // Contains reports whether the store holds a record for key without reading
@@ -236,3 +279,7 @@ func (s *Store) MemLen() int {
 func (s *Store) Counters() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
 }
+
+// CorruptCount returns how many undecodable records Get quarantined to
+// <key>.corrupt (process lifetime).
+func (s *Store) CorruptCount() uint64 { return s.corrupt.Load() }

@@ -136,7 +136,7 @@ func TestStoreSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := RunSpec{Benchmark: "queue"}.Key()
-	if err := st.Put(key, []byte("persisted")); err != nil {
+	if err := st.Put(key, []byte(`"persisted"`)); err != nil {
 		t.Fatal(err)
 	}
 	// A fresh store over the same directory (a resumed sweep in a new
@@ -146,7 +146,7 @@ func TestStoreSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok, err := st2.Get(key)
-	if err != nil || !ok || string(got) != "persisted" {
+	if err != nil || !ok || string(got) != `"persisted"` {
 		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
 	}
 }
@@ -159,7 +159,7 @@ func TestStoreLRUEviction(t *testing.T) {
 	keys := make([]string, 3)
 	for i := range keys {
 		keys[i] = RunSpec{Benchmark: "b", Seed: uint64(i)}.Key()
-		if err := st.Put(keys[i], []byte{byte(i)}); err != nil {
+		if err := st.Put(keys[i], []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -168,8 +168,8 @@ func TestStoreLRUEviction(t *testing.T) {
 	}
 	// The evicted record is still served (from disk) and re-promoted.
 	got, ok, err := st.Get(keys[0])
-	if err != nil || !ok || got[0] != 0 {
-		t.Fatalf("evicted Get = %v, %v, %v", got, ok, err)
+	if err != nil || !ok || string(got) != `{"i":0}` {
+		t.Fatalf("evicted Get = %q, %v, %v", got, ok, err)
 	}
 }
 
@@ -199,6 +199,89 @@ func TestStoreConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestStoreCorruptRecordQuarantined(t *testing.T) {
+	// Truncated and invalid-JSON records are misses, not errors: the bad
+	// file is renamed to <key>.corrupt beside its shard so a crashed (or
+	// bit-flipped) cache never wedges a lookup, and the rerun's Put lays
+	// down a fresh record at the original path.
+	cases := map[string][]byte{
+		"truncated": []byte(`{"spec":"runspec/v1","stats":{"cyc`),
+		"invalid":   []byte(`not json at all`),
+	}
+	for name, bad := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			// LRU disabled: the memory front only ever holds validated
+			// payloads, so the disk path is the one under test.
+			st, err := OpenLimited(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := RunSpec{Benchmark: "hashmap", Seed: 3}.Key()
+			if err := st.Put(key, []byte(`{"ok":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			recPath := filepath.Join(dir, key[:2], key+".json")
+			if err := os.WriteFile(recPath, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			got, ok, err := st.Get(key)
+			if err != nil || ok || got != nil {
+				t.Fatalf("corrupt Get = %q, %v, %v; want miss without error", got, ok, err)
+			}
+			if _, err := os.Stat(recPath); !os.IsNotExist(err) {
+				t.Fatalf("corrupt record still at lookup path: %v", err)
+			}
+			quarantined := filepath.Join(dir, key[:2], key+".corrupt")
+			moved, err := os.ReadFile(quarantined)
+			if err != nil {
+				t.Fatalf("quarantined file: %v", err)
+			}
+			if string(moved) != string(bad) {
+				t.Fatalf("quarantined bytes = %q, want %q", moved, bad)
+			}
+			if got := st.CorruptCount(); got != 1 {
+				t.Fatalf("CorruptCount = %d, want 1", got)
+			}
+
+			// The next Put repairs the slot; the corpse stays for auditing.
+			if err := st.Put(key, []byte(`{"ok":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			if payload, ok, err := st.Get(key); err != nil || !ok || string(payload) != `{"ok":true}` {
+				t.Fatalf("repaired Get = %q, %v, %v", payload, ok, err)
+			}
+			if _, err := os.Stat(quarantined); err != nil {
+				t.Fatalf("quarantined corpse removed by repair: %v", err)
+			}
+		})
+	}
+}
+
+func TestMemBackend(t *testing.T) {
+	var be Backend = NewMem()
+	key := RunSpec{Benchmark: "stack", Seed: 9}.Key()
+	if _, ok, err := be.Get(key); ok || err != nil {
+		t.Fatalf("empty Get = %v, %v", ok, err)
+	}
+	if be.Contains(key) {
+		t.Fatal("Contains on empty backend")
+	}
+	payload := []byte(`{"cycles":7}`)
+	if err := be.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // Put must have copied
+	got, ok, err := be.Get(key)
+	if err != nil || !ok || string(got) != `{"cycles":7}` {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if !be.Contains(key) {
+		t.Fatal("Contains = false after Put")
+	}
 }
 
 func TestStoreResolve(t *testing.T) {
