@@ -48,8 +48,10 @@ import (
 	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/prof"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -68,9 +70,17 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		serve    = flag.String("serve", "", "run as a sweep-farm server on this address (e.g. localhost:6070) instead of sweeping locally; endpoints: /jobs, /matrix, /quarantine, /farm, /telemetry, /metrics, /debug/vars")
 		deadline = flag.Duration("run-deadline", 0, "host wall-time deadline per individual run; an exceeding run becomes an isolated failure instead of hanging the sweep (0 = none)")
+
+		benchList   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		configsFlag = flag.String("configs", "", "configuration subset, compact or separated (e.g. BPCW or B,C; default: B,P,C,W)")
+
+		frontier      = flag.Bool("frontier", false, "run the policy-frontier sweep: every -policies entry over the benchmark x config matrix, optionally doubled under -frontier-fault; prints the per-cell verdict and where the paper's single-retry policy wins or loses")
+		policiesFlag  = flag.String("policies", "", "policy list for -frontier, separated by ';' or whitespace (default: all built-ins)")
+		frontierFault = flag.String("frontier-fault", "", "fault preset for the under-faults half of -frontier (empty = clean only)")
 	)
 	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
 	serviceFlags := cliutil.AddServiceFlags(flag.CommandLine)
+	policyFlag := cliutil.AddPolicyFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := serviceFlags.Validate(*serve, sweepFlags); err != nil {
@@ -139,6 +149,24 @@ func main() {
 	default:
 		cliutil.Usagef("unknown ablation %q", *ablation)
 	}
+	if *benchList != "" {
+		names, err := benchSubset(*benchList)
+		if err != nil {
+			cliutil.Usage(err)
+		}
+		opts.Benchmarks = names
+	}
+	if *configsFlag != "" {
+		cfgs, err := harness.ParseConfigs(*configsFlag)
+		if err != nil {
+			cliutil.Usage(err)
+		}
+		opts.Configs = cfgs
+	}
+	opts.Policy, err = policyFlag.Spec()
+	if err != nil {
+		cliutil.Usage(err)
+	}
 
 	opts.RunDeadline = *deadline
 
@@ -164,6 +192,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "clearbench: executing on farm at %s\n", *serviceFlags.Remote)
 	}
 	defer remoteStop()
+
+	if *frontier {
+		if !opts.Policy.IsDefault() {
+			cliutil.Usagef("-policy conflicts with -frontier: select the comparison set with -policies")
+		}
+		runFrontier(opts, *policiesFlag, *frontierFault, *csvPath)
+		return
+	}
 
 	if *sweep {
 		sw, err := harness.RunRetrySweep(opts)
@@ -280,6 +316,85 @@ func main() {
 		cliutil.Exit(130)
 	}
 	if len(m.Failures) > 0 {
+		cliutil.Exit(cliutil.ExitFailure)
+	}
+}
+
+// benchSubset validates a comma-separated benchmark list against the
+// workload registry.
+func benchSubset(arg string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, n := range workload.Names() {
+		known[n] = true
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("unknown benchmark %q (see clearsim -list)", n)
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-benchmarks %q selects nothing", arg)
+	}
+	return names, nil
+}
+
+// runFrontier executes the policy-frontier sweep and renders its CSV and
+// verdict.
+func runFrontier(base harness.MatrixOptions, policiesArg, faultPreset, csvPath string) {
+	fo := harness.FrontierOptions{
+		Policies:    harness.DefaultFrontierPolicies(),
+		Base:        base,
+		FaultPreset: faultPreset,
+	}
+	if policiesArg != "" {
+		specs, err := policy.ParseList(policiesArg)
+		if err != nil {
+			cliutil.Usage(err)
+		}
+		fo.Policies = specs
+	}
+	halves := 1
+	if faultPreset != "" {
+		halves = 2
+	}
+	fmt.Fprintf(os.Stderr, "clearbench: policy frontier: %d policies x %d benchmarks x %d configs x %d halves (%d cores, %d ops/thread)\n",
+		len(fo.Policies), len(base.Benchmarks), len(base.Configs), halves, base.Cores, base.OpsPerThread)
+	start := time.Now()
+	f, err := harness.RunFrontier(fo)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clearbench: frontier done in %v\n", time.Since(start).Round(time.Millisecond))
+	if base.Store != nil {
+		fmt.Fprintf(os.Stderr, "clearbench: run cache: %d hits, %d misses\n", f.CacheHits, f.CacheMisses)
+	}
+	if csvPath != "" {
+		out, err := os.Create(csvPath)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		if err := f.WriteCSV(out); err != nil {
+			cliutil.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clearbench: wrote %s\n", csvPath)
+	}
+	if err := f.Summary(os.Stdout); err != nil {
+		cliutil.Fatal(err)
+	}
+	if len(f.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "clearbench: %d frontier run(s) failed:\n", len(f.Failures))
+		for _, fl := range f.Failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", fl.String())
+		}
 		cliutil.Exit(cliutil.ExitFailure)
 	}
 }

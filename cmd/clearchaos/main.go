@@ -39,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/litmus"
+	"repro/internal/policy"
 	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -68,6 +69,7 @@ func main() {
 		listPlans = flag.Bool("list-plans", false, "list the named fault-plan presets and exit")
 	)
 	sweepFlags := cliutil.AddSweepFlags(flag.CommandLine)
+	policyFlag := cliutil.AddPolicyFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *listPlans {
@@ -109,6 +111,10 @@ func main() {
 	if *bench != "" {
 		benches = []string{*bench}
 	}
+	pol, err := policyFlag.Spec()
+	if err != nil {
+		cliutil.Usage(err)
+	}
 	store, err := sweepFlags.Store()
 	if err != nil {
 		cliutil.Usage(err)
@@ -130,6 +136,7 @@ func main() {
 		cores:    *cores,
 		ops:      *ops,
 		retry:    *retry,
+		policy:   pol,
 		deadline: *deadline,
 		shrink:   *doShrink,
 		axiom:    *axiom,
@@ -149,6 +156,7 @@ type campaignOpts struct {
 	cores    int
 	ops      int
 	retry    int
+	policy   policy.Spec
 	deadline time.Duration
 	shrink   bool
 	// axiom records every run's memory-access trace in memory and checks
@@ -254,6 +262,7 @@ func campaign(o campaignOpts) int {
 			Oracle:       true,
 			Watchdog:     &harness.WatchdogConfig{},
 			FaultPlan:    plan,
+			Policy:       o.policy,
 			Deadline:     o.deadline,
 		}
 		var axiomBuf bytes.Buffer
@@ -307,6 +316,9 @@ func campaign(o campaignOpts) int {
 				p.Seed, benchName, cfg, o.cores, o.ops, o.planName)
 			if kinds := enabledKinds(min); kinds != "" {
 				fmt.Printf(" -faults %s", kinds)
+			}
+			if !o.policy.IsDefault() {
+				fmt.Printf(" -policy %s", o.policy.Canonical())
 			}
 			fmt.Println()
 		}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/policy"
 )
 
 func main() {
@@ -44,9 +45,14 @@ func main() {
 		inject  = flag.String("inject", "", "\"bug\" plants the second-speculative-retry bug and requires the oracle to catch and shrink it; a fault-plan preset name runs the fuzz loop under that plan; \"list\" prints the presets")
 		verbose = flag.Bool("v", false, "print every case result, not just failures")
 	)
+	policyFlag := cliutil.AddPolicyFlags(flag.CommandLine)
 	flag.Parse()
 
 	ids, err := harness.ParseConfigs(*configs)
+	if err != nil {
+		cliutil.Usage(err)
+	}
+	pol, err := policyFlag.Spec()
 	if err != nil {
 		cliutil.Usage(err)
 	}
@@ -67,11 +73,11 @@ func main() {
 	}
 
 	if *replay != 0 {
-		os.Exit(replayOne(*replay, cfgs))
+		os.Exit(replayOne(*replay, cfgs, pol))
 	}
 	switch *inject {
 	case "":
-		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{}))
+		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{Policy: pol}))
 	case "bug":
 		os.Exit(injectHunt(*seed, *runs, cfgs))
 	case "list":
@@ -85,7 +91,7 @@ func main() {
 		if err != nil {
 			cliutil.Usagef("-inject: %v (use \"bug\", \"list\", or a preset)", err)
 		}
-		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{Plan: plan}))
+		os.Exit(fuzzRun(*seed, *runs, cfgs, *verbose, fuzz.Opts{Plan: plan, Policy: pol}))
 	}
 }
 
@@ -131,11 +137,11 @@ func fuzzRun(first uint64, runs int, cfgs []fuzz.Config, verbose bool, opts fuzz
 }
 
 // replayOne re-runs a single seed with full result output.
-func replayOne(seed uint64, cfgs []fuzz.Config) int {
+func replayOne(seed uint64, cfgs []fuzz.Config, pol policy.Spec) int {
 	c := fuzz.Gen(seed)
 	fmt.Printf("case:\n%s\n", c.Dump())
 	code := 0
-	for _, r := range fuzz.RunAll(c, cfgs, fuzz.Opts{}) {
+	for _, r := range fuzz.RunAll(c, cfgs, fuzz.Opts{Policy: pol}) {
 		fmt.Println(r)
 		if r.Failed() {
 			code = 1

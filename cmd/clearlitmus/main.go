@@ -114,6 +114,7 @@ func cmdRun(args []string) error {
 	expectCatch := fs.Bool("expect-catch", false, "with -inject: exit 0 only if the checker catches the planted bug")
 	updateGolden := fs.Bool("update-golden", false, "rewrite internal/litmus/testdata outcome-set goldens from this sweep")
 	quiet := fs.Bool("q", false, "only print failures and the final summary")
+	policyFlag := cliutil.AddPolicyFlags(fs)
 	fs.Parse(args)
 
 	ts, err := resolveTests(*tests)
@@ -135,9 +136,13 @@ func cmdRun(args []string) error {
 	if *expectCatch && *inject == "" {
 		cliutil.Usagef("-expect-catch needs -inject")
 	}
+	pol, err := policyFlag.Spec()
+	if err != nil {
+		cliutil.Usage(err)
+	}
 	if *updateGolden && (*inject != "" || (*faults != "off" && *faults != "") ||
-		*tests != "all" || *configs != "BPCW" || *seeds != litmus.DefaultSeedCount) {
-		cliutil.Usagef("-update-golden pins the default sweep: full corpus, -configs BPCW, -seeds %d, clean", litmus.DefaultSeedCount)
+		*tests != "all" || *configs != "BPCW" || *seeds != litmus.DefaultSeedCount || !pol.IsDefault()) {
+		cliutil.Usagef("-update-golden pins the default sweep: full corpus, -configs BPCW, -seeds %d, clean, default policy", litmus.DefaultSeedCount)
 	}
 
 	opts := litmus.SweepOpts{
@@ -146,6 +151,7 @@ func cmdRun(args []string) error {
 		Seeds:                  litmus.DefaultSeeds(*seeds),
 		Fault:                  *faults,
 		InjectLostInvalidation: *inject == "lost-inv",
+		Policy:                 pol,
 	}
 	if *traceOut != "" {
 		if err := os.MkdirAll(*traceOut, 0o755); err != nil {

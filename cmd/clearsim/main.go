@@ -30,6 +30,7 @@ func main() {
 		Bench: "hashmap", Config: "B", Cores: 32, Ops: 120, Retries: 4, Seed: 1,
 	})
 	tr := cliutil.AddTraceFlags(flag.CommandLine, false)
+	pol := cliutil.AddPolicyFlags(flag.CommandLine)
 	var (
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		sle     = flag.Bool("sle", false, "in-core speculation (SLE) instead of HTM")
@@ -58,6 +59,10 @@ func main() {
 	}
 
 	p, err := run.Params()
+	if err != nil {
+		cliutil.Usage(err)
+	}
+	p.Policy, err = pol.Resolve(p.Policy)
 	if err != nil {
 		cliutil.Usage(err)
 	}
@@ -93,6 +98,7 @@ func printResult(r *harness.RunResult) {
 	fmt.Printf("configuration    %s (%s)\n", p.Config, p.Config.Description())
 	fmt.Printf("cores            %d   ops/thread %d   retry limit %d   seed %d\n",
 		p.Cores, p.OpsPerThread, p.RetryLimit, p.Seed)
+	fmt.Printf("policy           %s\n", p.Policy.Canonical())
 	fmt.Println()
 	fmt.Printf("cycles           %d\n", s.Cycles)
 	fmt.Printf("energy (a.u.)    %.0f\n", r.Energy)
@@ -142,6 +148,10 @@ func printResult(r *harness.RunResult) {
 	fmt.Printf("lines locked     %d   lock retries %d   CRT insertions %d\n",
 		s.LinesLocked, s.LockRetries, s.CRTInsertions)
 	fmt.Printf("power claims     %d   fallback acquisitions %d\n", s.PowerClaims, s.FallbackAcquisitions)
+	if s.PolicyOverrides+s.PolicyBackoffTicks+s.PolicyNonSpecEntries > 0 {
+		fmt.Printf("policy           overrides %d   backoff ticks %d   static NS-CL entries %d\n",
+			s.PolicyOverrides, s.PolicyBackoffTicks, s.PolicyNonSpecEntries)
+	}
 	fmt.Println()
 	fmt.Printf("instructions     %d committed + %d aborted (%.1f%% wasted)\n",
 		s.Instructions, s.AbortedInstructions,

@@ -7,20 +7,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 )
 
 func main() {
+	cliutil.SetTool("digestcheck")
+	policyFlag := cliutil.AddPolicyFlags(flag.CommandLine)
+	flag.Parse()
+	pol, err := policyFlag.Spec()
+	if err != nil {
+		cliutil.Usage(err)
+	}
 	benchmarks := []string{
 		"intruder", "hashmap", "sorted-list", "vacation-h", "bayes", "labyrinth",
 	}
 	failed := false
 	for _, wl := range benchmarks {
 		for _, cfg := range []harness.ConfigID{harness.ConfigC, harness.ConfigW} {
-			res, err := harness.Run(harness.DefaultRunParams(wl, cfg))
+			p := harness.DefaultRunParams(wl, cfg)
+			p.Policy = pol
+			res, err := harness.Run(p)
 			if err != nil {
 				fmt.Printf("%s/%v ERR %v\n", wl, cfg, err)
 				failed = true

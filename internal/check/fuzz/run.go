@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/litmus"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -75,6 +76,10 @@ type Opts struct {
 	// machine under environmental perturbation. The injector's own seed is
 	// mixed per (case, config), keeping each run deterministic.
 	Plan *fault.Plan
+	// Policy selects the retry policy every case runs under (zero value =
+	// paper-exact default): the differential and axiomatic oracles must
+	// hold for adaptive policies too.
+	Policy policy.Spec
 }
 
 // Result is the outcome of running one case under one configuration.
@@ -143,6 +148,7 @@ func (c Config) systemConfig(cs *Case, opts Opts) cpu.SystemConfig {
 	cfg.Seed = cs.Seed*4 + uint64(c) + 1
 	cfg.InjectSecondSpecRetry = opts.Inject
 	cfg.InjectLostInvalidation = opts.InjectLostInv
+	cfg.Policy = opts.Policy
 	return cfg
 }
 

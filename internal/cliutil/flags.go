@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/policy"
 	"repro/internal/runstore"
 )
 
@@ -43,19 +44,58 @@ func AddRunFlags(fs *flag.FlagSet, d RunDefaults) *RunFlags {
 	}
 }
 
-// Params resolves the parsed group into run parameters; a bad config letter
-// is a usage error.
+// Params resolves the parsed group into run parameters; a bad config token
+// is a usage error. The -config value accepts the config+policy grammar
+// ("C", "C+ewma:alpha=0.5"), so single-run tools get the policy axis even
+// without a -policy flag.
 func (r *RunFlags) Params() (harness.RunParams, error) {
-	cfg, err := harness.ParseConfig(*r.Config)
+	cp, err := harness.ParseConfigPolicy(*r.Config)
 	if err != nil {
 		return harness.RunParams{}, err
 	}
-	p := harness.DefaultRunParams(*r.Bench, cfg)
+	p := harness.DefaultRunParams(*r.Bench, cp.Config)
 	p.Cores = *r.Cores
 	p.OpsPerThread = *r.Ops
 	p.RetryLimit = *r.Retries
 	p.Seed = *r.Seed
+	p.Policy = cp.Policy
 	return p, nil
+}
+
+// PolicyFlags is the retry-policy flag group (-policy) shared by every tool
+// with a policy axis; the flag value uses the internal/policy grammar.
+type PolicyFlags struct {
+	Policy *string
+}
+
+// AddPolicyFlags registers the retry-policy flag group on fs.
+func AddPolicyFlags(fs *flag.FlagSet) *PolicyFlags {
+	return &PolicyFlags{
+		Policy: fs.String("policy", "", "retry policy: "+policy.Grammar+" (default: the paper-exact clear policy)"),
+	}
+}
+
+// Spec resolves the parsed -policy value; a bad spec is a usage error.
+func (p *PolicyFlags) Spec() (policy.Spec, error) {
+	return policy.Parse(*p.Policy)
+}
+
+// Resolve merges the -policy flag with a policy carried by a config+policy
+// token: setting both to different policies is ambiguous and a usage error,
+// either alone (or neither) wins.
+func (p *PolicyFlags) Resolve(fromConfig policy.Spec) (policy.Spec, error) {
+	flagSpec, err := p.Spec()
+	if err != nil {
+		return policy.Spec{}, err
+	}
+	switch {
+	case flagSpec.IsDefault():
+		return fromConfig, nil
+	case fromConfig.IsDefault() || fromConfig.Canonical() == flagSpec.Canonical():
+		return flagSpec, nil
+	}
+	return policy.Spec{}, fmt.Errorf("-policy %s conflicts with config+policy suffix %s: pick one",
+		flagSpec.Canonical(), fromConfig.Canonical())
 }
 
 // TraceFlags is the trace-recording flag group (-trace-out/-trace-mem/

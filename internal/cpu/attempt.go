@@ -9,6 +9,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -41,16 +42,21 @@ func (c *Core) resetAttemptState() {
 // beginAttempt dispatches the next attempt of the current invocation
 // according to the decided retry mode.
 func (c *Core) beginAttempt() {
-	if c.conflictRetries > c.m.Cfg.RetryLimit || c.retryMode == clear.RetryFallback {
+	if c.pol.BudgetExhausted(c.conflictRetries) || c.retryMode == clear.RetryFallback {
 		c.enterFallback()
 		return
 	}
 
 	// MAD/MCAS-style static locking (§2.2): if the footprint is known a
 	// priori, lock it and execute non-speculatively — no discovery, no
-	// retries.
-	if c.m.Cfg.StaticLocking && c.attempt == 0 && c.retryMode == clear.RetrySpeculative &&
+	// retries. A policy that has learned the AR rarely survives speculation
+	// (PreferNonSpec) takes the same path.
+	if c.attempt == 0 && c.retryMode == clear.RetrySpeculative &&
+		(c.m.Cfg.StaticLocking || c.pol.PreferNonSpec(c.inv.Prog.ID)) &&
 		c.tryStaticFootprint() {
+		if !c.m.Cfg.StaticLocking {
+			c.m.Stats.PolicyNonSpecEntries++
+		}
 		c.retryMode = clear.RetryNSCL
 	}
 
@@ -87,6 +93,7 @@ func (c *Core) beginSpeculative() {
 					Reason:          htm.AbortExplicitFallback,
 					ConflictRetries: c.conflictRetries,
 					NextMode:        c.retryMode,
+					Proposed:        c.retryMode,
 				})
 			}
 		}
@@ -264,6 +271,11 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 		c.conflictRetries++
 	}
 	c.decideRetryMode(reason)
+	c.pol.OnAbort(policy.Outcome{
+		ProgID:          c.inv.Prog.ID,
+		Mode:            execModeOf(c.mode),
+		ConflictRetries: c.conflictRetries,
+	})
 	if c.m.probe != nil {
 		c.m.probe.OnAttemptEnd(AttemptEndInfo{
 			Core:            c.id,
@@ -274,6 +286,8 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 			PC:              c.pc,
 			ConflictRetries: c.conflictRetries,
 			NextMode:        c.retryMode,
+			Proposed:        c.lastProposed,
+			Backoff:         c.nextBackoff,
 			Assessed:        c.lastAssessed,
 			Assessment:      c.lastAssessment,
 		})
@@ -283,42 +297,67 @@ func (c *Core) abortNow(reason htm.AbortReason) {
 	c.disc.Disable()
 	c.mode = ModeIdle
 	c.attempt++
-	c.engine().Schedule(c.m.Cfg.AbortPenalty+c.retryBackoff(), c.beginAttemptFn)
+	c.engine().Schedule(c.m.Cfg.AbortPenalty+c.nextBackoff, c.beginAttemptFn)
 }
 
-// retryBackoff returns the randomized exponential backoff for the next
-// attempt: jitter drawn from a window that doubles with each conflict retry
-// (capped), the standard retry-loop policy for best-effort HTM. Cacheline-
-// locked retries skip the backoff: their forward progress comes from
-// locking, and delaying them only widens the window in which the learned
-// footprint can go stale.
-func (c *Core) retryBackoff() sim.Tick {
-	if c.m.Cfg.BackoffBase == 0 {
-		return 0
+// execModeOf classifies an execution mode for the policy observation hooks:
+// failed-mode discovery is a speculative execution that already knows it
+// will abort, so both speculative modes feed the same learning signal.
+func execModeOf(m Mode) policy.ExecMode {
+	switch m {
+	case ModeSCL:
+		return policy.ExecSCL
+	case ModeNSCL:
+		return policy.ExecNSCL
+	case ModeFallback:
+		return policy.ExecFallback
+	default:
+		return policy.ExecSpeculative
 	}
-	if c.retryMode == clear.RetrySCL || c.retryMode == clear.RetryNSCL {
-		return 0
-	}
-	shift := c.conflictRetries
-	if shift > 6 {
-		shift = 6
-	}
-	window := int(c.m.Cfg.BackoffBase) << uint(shift)
-	return sim.Tick(c.rng.Intn(window))
 }
 
-// decideRetryMode applies the §4.3 decision tree (Figure 2) for the next
-// attempt, combining the discovery assessment with the abort context.
+// decideRetryMode computes the §4.3 proposal for the next attempt, runs it
+// through the retry policy, and installs the final decision and backoff.
+// The policy may accept the proposal or override it to fallback
+// (serialization is always safe); any other override would either break the
+// single-retry bound or start a lock walk with no learned footprint, so it
+// is rejected here rather than trusted.
 func (c *Core) decideRetryMode(reason htm.AbortReason) {
+	proposed := c.proposeRetryMode(reason)
+	c.lastProposed = proposed
+	c.polCtx.ProgID = c.inv.Prog.ID
+	c.polCtx.Attempt = c.attempt
+	c.polCtx.ConflictRetries = c.conflictRetries
+	c.polCtx.Reason = reason
+	c.polCtx.Proposed = proposed
+	c.polCtx.Assessed = c.lastAssessed
+	c.polCtx.Assessment = c.lastAssessment
+	d := c.pol.Decide(&c.polCtx)
+	if d.Mode != proposed {
+		if !policy.OverrideAllowed(proposed, d.Mode) {
+			panic(fmt.Sprintf("cpu: core %d policy decided %v over §4.3 proposal %v (policies may only serialize)",
+				c.id, d.Mode, proposed))
+		}
+		c.m.Stats.PolicyOverrides++
+	}
+	c.retryMode = d.Mode
+	c.nextBackoff = d.Backoff
+	c.m.Stats.PolicyBackoffTicks += uint64(d.Backoff)
+}
+
+// proposeRetryMode applies the §4.3 decision tree (Figure 2) for the next
+// attempt, combining the discovery assessment with the abort context. This
+// is the hardware mechanism's proposal — table updates (ERT convertibility,
+// ALT finalization) happen here, mode selection is finalized by the policy.
+func (c *Core) proposeRetryMode(reason htm.AbortReason) clear.RetryMode {
 	c.lastAssessed = false
 	c.lastAssessment = clear.Assessment{}
 	if !c.m.Cfg.CLEAR {
-		c.retryMode = clear.RetrySpeculative
 		if reason == htm.AbortCapacity {
 			// Speculative resources cannot support a retry (decision 0).
-			c.retryMode = clear.RetryFallback
+			return clear.RetryFallback
 		}
-		return
+		return clear.RetrySpeculative
 	}
 
 	switch c.mode {
@@ -330,15 +369,15 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 			if c.ertEntry != nil {
 				c.ertEntry.IsConvertible = false
 			}
-			c.retryMode = clear.RetryFallback
+			return clear.RetryFallback
 		case htm.AbortExplicit:
 			// Non-memory-conflict abort: mark non-discoverable (§4.4.2).
 			if c.ertEntry != nil {
 				c.ertEntry.IsConvertible = false
 			}
-			c.retryMode = clear.RetrySpeculative
+			return clear.RetrySpeculative
 		default:
-			c.retryMode = clear.RetrySpeculative
+			return clear.RetrySpeculative
 		}
 
 	case ModeFailedDiscovery:
@@ -353,7 +392,6 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 			}
 			c.ertEntry.IsImmutable = a.Immutable
 		}
-		c.retryMode = a.Mode
 		if a.Mode == clear.RetrySCL || a.Mode == clear.RetryNSCL {
 			if c.m.Cfg.InjectSecondSpecRetry ||
 				(c.m.fault != nil && c.m.fault.ForceSecondSpecRetry(c.id)) {
@@ -361,11 +399,11 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 				// the convertible assessment and take a second plain
 				// speculative retry — the exact bug class the single-retry
 				// invariant exists to catch.
-				c.retryMode = clear.RetrySpeculative
-			} else {
-				c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)
+				return clear.RetrySpeculative
 			}
+			c.disc.ALT.FinalizeForMode(c.effectiveCLMode(a.Mode), c.crt)
 		}
+		return a.Mode
 
 	case ModeSCL:
 		switch reason {
@@ -373,12 +411,12 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 			// The CRT learned the conflicting read; retry S-CL with the
 			// wider lock set.
 			c.disc.ALT.FinalizeForMode(clear.RetrySCL, c.crt)
-			c.retryMode = clear.RetrySCL
+			return clear.RetrySCL
 		default:
 			// Deviation or other non-conflict failure: the learned
 			// footprint is stale; fall back to a plain speculative retry,
 			// which re-runs discovery.
-			c.retryMode = clear.RetrySpeculative
+			return clear.RetrySpeculative
 		}
 
 	case ModeNSCL:
@@ -386,14 +424,13 @@ func (c *Core) decideRetryMode(reason htm.AbortReason) {
 			// The lock walk was refused by a prioritised holder; the
 			// learned footprint is still immutable, so NS-CL is retried
 			// once the holder drains.
-			c.retryMode = clear.RetryNSCL
-		} else {
-			// A deviation (immutability misprediction): rediscover.
-			c.retryMode = clear.RetrySpeculative
+			return clear.RetryNSCL
 		}
+		// A deviation (immutability misprediction): rediscover.
+		return clear.RetrySpeculative
 
 	default:
-		c.retryMode = clear.RetrySpeculative
+		return clear.RetrySpeculative
 	}
 }
 
@@ -435,6 +472,11 @@ func (c *Core) commitSpeculative() {
 	if c.ertEntry != nil {
 		c.ertEntry.NoteCommit()
 	}
+	c.pol.OnCommit(policy.Outcome{
+		ProgID:          c.inv.Prog.ID,
+		Mode:            policy.ExecSpeculative,
+		ConflictRetries: c.conflictRetries,
+	})
 	c.m.Stats.Instructions += c.attemptInstr
 	c.m.Stats.RecordCommit(stats.CommitSpeculative, c.conflictRetries)
 	c.recordFig1Attempt(true)

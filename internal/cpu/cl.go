@@ -4,6 +4,7 @@ import (
 	"repro/internal/coherence"
 	clear "repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/policy"
 	"repro/internal/stats"
 )
 
@@ -136,6 +137,15 @@ func (c *Core) commitCL() {
 	if c.ertEntry != nil {
 		c.ertEntry.NoteCommit()
 	}
+	execMode := policy.ExecNSCL
+	if mode == stats.CommitSCL {
+		execMode = policy.ExecSCL
+	}
+	c.pol.OnCommit(policy.Outcome{
+		ProgID:          c.inv.Prog.ID,
+		Mode:            execMode,
+		ConflictRetries: c.conflictRetries,
+	})
 	c.m.Stats.Instructions += c.attemptInstr
 	c.m.Stats.RecordCommit(mode, c.conflictRetries)
 	c.m.Stats.RecordCommitAR(c.inv.Prog.ID, c.inv.Prog.Name, mode)

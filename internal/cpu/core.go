@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lineset"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -106,6 +107,12 @@ type Core struct {
 	lastAssessed   bool
 	lastAssessment clear.Assessment
 
+	// lastProposed is the §4.3 mechanism proposal of the most recent
+	// decision, before any policy override; nextBackoff is the policy's
+	// backoff for the next attempt. Both feed the attempt probe.
+	lastProposed clear.RetryMode
+	nextBackoff  sim.Tick
+
 	// Figure 1 instrumentation. The sets are epoch-cleared and reused
 	// across invocations; the Has flags say whether the current invocation
 	// has filled them.
@@ -142,6 +149,11 @@ type Core struct {
 	// rng drives retry-backoff jitter; deterministic per (run seed, core).
 	rng *sim.RNG
 
+	// pol owns the §4.3 next-mode decision (internal/policy); polCtx is the
+	// reusable decision context so the per-abort path allocates nothing.
+	pol    policy.Policy
+	polCtx policy.Context
+
 	// Pre-bound event functions, created once in newCore. Scheduling a
 	// method value (c.step) evaluates to a fresh closure on every use, and
 	// since the engine retains it the allocation is a heap allocation —
@@ -174,6 +186,14 @@ func newCore(id int, m *Machine) *Core {
 		disc: clear.NewDiscoverySized(m.Cfg.ALTEntries),
 		rng:  sim.NewRNG(m.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(id) + 1),
 	}
+	c.pol = policy.New(m.Cfg.Policy, policy.Env{
+		Seed:        m.Cfg.Seed,
+		Core:        id,
+		RetryLimit:  m.Cfg.RetryLimit,
+		BackoffBase: m.Cfg.BackoffBase,
+	})
+	c.polCtx.Core = id
+	c.polCtx.Rand = c.rng.Intn
 	c.stepFn = c.step
 	c.beginAttemptFn = c.beginAttempt
 	c.nextInvocationFn = c.nextInvocation

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"repro/internal/coherence"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -54,6 +55,11 @@ func (c *Core) commitFallback() {
 		})
 	}
 	c.m.Fallback.ReleaseWrite(c.id)
+	c.pol.OnCommit(policy.Outcome{
+		ProgID:          c.inv.Prog.ID,
+		Mode:            policy.ExecFallback,
+		ConflictRetries: c.conflictRetries,
+	})
 	c.m.Stats.Instructions += c.attemptInstr
 	c.m.Stats.RecordCommit(stats.CommitFallback, c.conflictRetries)
 	c.m.Stats.RecordCommitAR(c.inv.Prog.ID, c.inv.Prog.Name, stats.CommitFallback)

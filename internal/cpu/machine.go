@@ -13,6 +13,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -101,6 +102,12 @@ type SystemConfig struct {
 	// must be caught by the internal/check oracle; it exists to prove the
 	// oracle can detect exactly this class of bug. Never set outside tests.
 	InjectSecondSpecRetry bool
+	// Policy selects the retry policy owning the §4.3 next-mode decision
+	// (internal/policy). The zero value is the paper-exact CLEAR policy,
+	// bit-identical to the hard-wired decision tree it replaced; non-default
+	// policies are a scenario axis keyed into the runstore cache exactly
+	// like the CLEAR/PowerTM toggles.
+	Policy policy.Spec
 	// InjectLostInvalidation deliberately breaks conflict detection for
 	// fault-injection testing: a speculative holder hit by a conflicting
 	// remote request yields the line *without* aborting, so it can commit

@@ -4,6 +4,7 @@ import (
 	clear "repro/internal/core"
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // Probe receives read-only notifications at the control points of every
@@ -61,8 +62,18 @@ type AttemptEndInfo struct {
 	PC int
 	// ConflictRetries is the post-abort conflict-counted retry total.
 	ConflictRetries int
-	// NextMode is the §4.3 decision for the next attempt.
+	// NextMode is the final decision for the next attempt — the retry
+	// policy's answer (internal/policy).
 	NextMode clear.RetryMode
+	// Proposed is the §4.3 mechanism proposal the policy decided over;
+	// Proposed != NextMode marks a policy override (always a serialization:
+	// policies may only strengthen to fallback). The synthetic
+	// busy-fallback-lock attempt-end takes no new decision and reports
+	// Proposed == NextMode.
+	Proposed clear.RetryMode
+	// Backoff is the policy's backoff delay inserted before the next
+	// attempt, on top of the fixed abort penalty.
+	Backoff sim.Tick
 	// Assessed is true when this abort ran the discovery assessment
 	// (failed-mode discovery completed); Assessment is then valid.
 	Assessed   bool

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/harness"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -50,6 +51,11 @@ type JobSpec struct {
 	ALTEntries int `json:"alt_entries,omitempty"`
 	CRTEntries int `json:"crt_entries,omitempty"`
 	CRTWays    int `json:"crt_ways,omitempty"`
+
+	// Policy is the canonical retry-policy rendering; omitted for the
+	// default (which is also how the cache key elides it), so pre-policy
+	// clients and servers interoperate.
+	Policy string `json:"policy,omitempty"`
 }
 
 // SpecOf flattens the digest-affecting parameters of p into its wire form.
@@ -73,7 +79,17 @@ func SpecOf(p harness.RunParams) JobSpec {
 		ALTEntries:                   p.ALTEntries,
 		CRTEntries:                   p.CRTEntries,
 		CRTWays:                      p.CRTWays,
+		Policy:                       policyWire(p.Policy),
 	}
+}
+
+// policyWire renders a policy spec for the wire: canonical, with the default
+// elided to keep keys and JSON identical to pre-policy clients.
+func policyWire(s policy.Spec) string {
+	if s.IsDefault() {
+		return ""
+	}
+	return s.Canonical()
 }
 
 // Params validates the spec and resolves it into run parameters. Host-side
@@ -110,6 +126,10 @@ func (s JobSpec) Params() (harness.RunParams, error) {
 	p.ALTEntries = s.ALTEntries
 	p.CRTEntries = s.CRTEntries
 	p.CRTWays = s.CRTWays
+	p.Policy, err = policy.Parse(s.Policy)
+	if err != nil {
+		return harness.RunParams{}, fmt.Errorf("farm: job spec: %w", err)
+	}
 	return p, nil
 }
 
@@ -127,6 +147,10 @@ type MatrixRequest struct {
 
 	DisableDiscoveryContinuation bool `json:"disable_discovery_continuation,omitempty"`
 	SCLLockAllReads              bool `json:"scl_lock_all_reads,omitempty"`
+
+	// Policy is the canonical retry policy every expanded job runs under
+	// (empty = default).
+	Policy string `json:"policy,omitempty"`
 }
 
 // MatrixRequestFrom mirrors the sweep dimensions of opts onto the wire. The
@@ -142,6 +166,7 @@ func MatrixRequestFrom(opts harness.MatrixOptions) MatrixRequest {
 		MaxTicks:                     uint64(opts.MaxTicks),
 		DisableDiscoveryContinuation: opts.DisableDiscoveryContinuation,
 		SCLLockAllReads:              opts.SCLLockAllReads,
+		Policy:                       policyWire(opts.Policy),
 	}
 	for _, c := range opts.Configs {
 		req.Configs = append(req.Configs, c.String())
@@ -170,6 +195,7 @@ func (m MatrixRequest) Specs() ([]JobSpec, error) {
 						MaxTicks:                     m.MaxTicks,
 						DisableDiscoveryContinuation: m.DisableDiscoveryContinuation,
 						SCLLockAllReads:              m.SCLLockAllReads,
+						Policy:                       m.Policy,
 					})
 				}
 			}

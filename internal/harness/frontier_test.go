@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestRunFrontier runs a reduced policy-frontier sweep end to end and pins
+// its structural contract: one cell per (policy, half, benchmark, config),
+// deterministic order, a default-policy half bit-identical to a plain
+// matrix, and CSV/summary renderings that carry the policy axis.
+func TestRunFrontier(t *testing.T) {
+	base := QuickMatrixOptions()
+	base.Benchmarks = []string{"mwobject", "bitcoin"}
+	base.Configs = []ConfigID{ConfigC}
+	base.Cores = 4
+	base.OpsPerThread = 20
+
+	opts := FrontierOptions{
+		Policies: []policy.Spec{{}, mustPolicy(t, "retry:n=2,backoff=none")},
+		Base:     base,
+	}
+	f, err := RunFrontier(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Failures) > 0 {
+		t.Fatalf("frontier had %d failures: %v", len(f.Failures), f.Failures[0])
+	}
+	wantCells := len(opts.Policies) * len(base.Benchmarks) * len(base.Configs)
+	if len(f.Cells) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(f.Cells), wantCells)
+	}
+
+	// The default-policy half must be bit-identical to a plain matrix run.
+	ref, err := RunMatrix(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f.Cells {
+		if c.Policy != "clear" {
+			continue
+		}
+		want := ref.Cell(c.Benchmark, c.Config)
+		if want == nil {
+			t.Fatalf("reference matrix missing cell %s/%s", c.Benchmark, c.Config)
+		}
+		if c.Agg.Cycles != want.Cycles || c.Agg.Energy != want.Energy {
+			t.Errorf("%s/%s: default-policy frontier cell (cycles=%v energy=%v) != plain matrix (cycles=%v energy=%v)",
+				c.Benchmark, c.Config, c.Agg.Cycles, c.Agg.Energy, want.Cycles, want.Energy)
+		}
+	}
+
+	var csvBuf bytes.Buffer
+	if err := f.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != wantCells+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), wantCells+1)
+	}
+	if !strings.HasPrefix(lines[0], "policy,faults,benchmark,config") {
+		t.Fatalf("CSV header %q missing the policy axis", lines[0])
+	}
+	if !strings.Contains(csvBuf.String(), "retry:backoff=none,n=2") {
+		t.Fatal("CSV does not carry the canonical non-default policy")
+	}
+
+	var sum bytes.Buffer
+	if err := f.Summary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "clear wins") {
+		t.Fatalf("summary missing the headline verdict:\n%s", sum.String())
+	}
+}
+
+// TestRunFrontierFaultHalf pins the under-faults half: a fault preset doubles
+// the cell count and the fault cells are marked.
+func TestRunFrontierFaultHalf(t *testing.T) {
+	base := QuickMatrixOptions()
+	base.Benchmarks = []string{"mwobject"}
+	base.Configs = []ConfigID{ConfigC}
+	base.Cores = 4
+	base.OpsPerThread = 15
+
+	opts := FrontierOptions{
+		Policies:    []policy.Spec{{}},
+		Base:        base,
+		FaultPreset: "latency",
+	}
+	f, err := RunFrontier(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (clean + faults)", len(f.Cells))
+	}
+	if f.Cells[0].Faults || !f.Cells[1].Faults {
+		t.Fatalf("cell order/halves wrong: %+v", f.Cells)
+	}
+
+	if _, err := RunFrontier(FrontierOptions{Policies: []policy.Spec{{}}, Base: base, FaultPreset: "no-such"}); err == nil {
+		t.Fatal("unknown fault preset did not error")
+	}
+	if _, err := RunFrontier(FrontierOptions{Base: base}); err == nil {
+		t.Fatal("empty policy set did not error")
+	}
+}

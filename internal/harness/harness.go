@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -132,6 +133,11 @@ type RunParams struct {
 	// empty plan attaches but fires nothing and leaves digests byte-
 	// identical.
 	FaultPlan *fault.Plan
+	// Policy selects the retry policy (internal/policy) that owns the §4.3
+	// next-mode decision. The zero value is the paper-exact default, which
+	// reproduces the pre-policy simulator bit-identically — so it is elided
+	// from cache keys and digests alike.
+	Policy policy.Spec
 }
 
 // DefaultRunParams returns laptop-scale defaults: the paper's 32 cores with
@@ -165,6 +171,7 @@ func (p RunParams) SystemConfig() cpu.SystemConfig {
 	cfg.ALTEntries = p.ALTEntries
 	cfg.CRTEntries = p.CRTEntries
 	cfg.CRTWays = p.CRTWays
+	cfg.Policy = p.Policy
 	return cfg
 }
 

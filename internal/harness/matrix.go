@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -31,6 +33,14 @@ type MatrixOptions struct {
 	// Ablation switches, applied to every run.
 	DisableDiscoveryContinuation bool
 	SCLLockAllReads              bool
+	// Policy is the retry policy every cell runs under (zero value = the
+	// paper-exact default). The matrix is single-policy by design; the
+	// policy-frontier sweep (RunFrontier) loops RunMatrix per policy so
+	// cache keys and cell CSVs stay comparable within one matrix.
+	Policy policy.Spec
+	// FaultPlan, when non-nil, is attached to every run of the sweep — the
+	// "under faults" half of a policy-frontier comparison.
+	FaultPlan *fault.Plan
 	// Telemetry, when non-nil, is attached to every run of the sweep; its
 	// atomic counters make it safe to share across the parallel workers
 	// (the clearbench -serve live endpoint feeds from it).
@@ -277,6 +287,8 @@ func runCell(opts MatrixOptions, bench string, cfg ConfigID, retry int) (agg *Ag
 			Telemetry:                    opts.Telemetry,
 			Metrics:                      opts.Metrics,
 			Deadline:                     opts.RunDeadline,
+			Policy:                       opts.Policy,
+			FaultPlan:                    opts.FaultPlan,
 		}
 		res, fail, hit := run(p)
 		if hit {

@@ -58,6 +58,12 @@ func (p RunParams) Spec() runstore.RunSpec {
 	if p.FaultPlan != nil {
 		spec.FaultPlan = fmt.Sprintf("%+v", *p.FaultPlan)
 	}
+	if !p.Policy.IsDefault() {
+		// The default policy is elided (empty string): it reproduces the
+		// pre-policy simulator bit-identically, so pre-existing cache keys
+		// must keep resolving.
+		spec.Policy = p.Policy.Canonical()
+	}
 	return spec
 }
 

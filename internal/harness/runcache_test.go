@@ -5,8 +5,19 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/runstore"
 )
+
+// mustPolicy parses a policy spec or fails the test.
+func mustPolicy(t *testing.T, s string) policy.Spec {
+	t.Helper()
+	spec, err := policy.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
 
 // specKeyed lists the RunParams fields that participate in the cache key
 // (RunParams.Spec). specHostSide lists the fields that are deliberately
@@ -18,7 +29,7 @@ var (
 		"MaxTicks", "SLE", "Oracle", "Mesh",
 		"DisableDiscoveryContinuation", "SCLLockAllReads",
 		"ERTEntries", "ALTEntries", "CRTEntries", "CRTWays",
-		"Watchdog", "FaultPlan",
+		"Watchdog", "FaultPlan", "Policy",
 	}
 	specHostSide = []string{
 		"TraceWriter", "TraceMem", "TraceDir", "Telemetry", "Metrics", "Deadline",
@@ -77,6 +88,22 @@ func TestRunSpecGolden(t *testing.T) {
 	pw.Watchdog = &WatchdogConfig{}
 	if pw.Spec().Key() == wantKey {
 		t.Fatal("attaching a watchdog did not change the cache key")
+	}
+
+	// Policy default-elision: the default policy must not touch the key —
+	// every record cached before policies existed keeps resolving — while a
+	// non-default policy must produce a distinct one.
+	pp := p
+	pp.Policy = mustPolicy(t, "clear")
+	if got := pp.Spec().Key(); got != wantKey {
+		t.Fatalf("explicit default policy changed the cache key: %s", got)
+	}
+	pp.Policy = mustPolicy(t, "retry:n=2")
+	if pp.Spec().Key() == wantKey {
+		t.Fatal("non-default policy did not change the cache key")
+	}
+	if got := pp.Spec().Policy; got != "retry:backoff=exp,n=2" {
+		t.Fatalf("spec policy rendering %q, want canonical form", got)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -40,6 +41,10 @@ type RunOpts struct {
 	// InjectLostInvalidation plants the conflict-detection bug
 	// (cpu.SystemConfig.InjectLostInvalidation) the checker must catch.
 	InjectLostInvalidation bool
+	// Policy selects the retry policy (zero value = paper-exact default):
+	// the memory-model axioms must hold under every policy, including ones
+	// that serialize aggressively.
+	Policy policy.Spec
 	// TraceOut, when non-nil, receives a copy of the raw binary trace.
 	TraceOut io.Writer
 }
@@ -91,13 +96,14 @@ func (r RunResult) String() string {
 
 // systemConfig maps a harness configuration onto the machine config, the
 // same toggles the fuzz and harness layers use.
-func systemConfig(id harness.ConfigID, cores int, seed uint64) cpu.SystemConfig {
+func systemConfig(id harness.ConfigID, cores int, seed uint64, pol policy.Spec) cpu.SystemConfig {
 	cfg := cpu.DefaultSystemConfig()
 	cfg.Cores = cores
 	cfg.CLEAR = id == harness.ConfigC || id == harness.ConfigW
 	cfg.PowerTM = id == harness.ConfigP || id == harness.ConfigW
 	cfg.StaticLocking = id == harness.ConfigM
 	cfg.Seed = seed
+	cfg.Policy = pol
 	return cfg
 }
 
@@ -135,7 +141,7 @@ func Run(t *Test, opts RunOpts) RunResult {
 	res := RunResult{Test: t, Config: opts.Config, Seed: opts.Seed, Fault: opts.Fault}
 
 	comp := t.compile()
-	cfg := systemConfig(opts.Config, len(t.Threads), opts.Seed)
+	cfg := systemConfig(opts.Config, len(t.Threads), opts.Seed, opts.Policy)
 	cfg.InjectLostInvalidation = opts.InjectLostInvalidation
 	memory := mem.NewMemory(0x100000)
 	machine, err := cpu.NewMachine(cfg, memory)
@@ -248,6 +254,8 @@ type SweepOpts struct {
 	Fault string
 	// InjectLostInvalidation plants the conflict-detection bug in every run.
 	InjectLostInvalidation bool
+	// Policy is the retry policy applied to every run of the sweep.
+	Policy policy.Spec
 	// TraceSink, when non-nil, is called per run to obtain a trace copy
 	// destination (nil return = no copy). The CLI maps it to -trace-out.
 	TraceSink func(test string, cfg harness.ConfigID, seed uint64) io.WriteCloser

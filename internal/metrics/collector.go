@@ -62,6 +62,13 @@ type Instruments struct {
 	// NackBurst is the length of a run of consecutive lock NACKs a core
 	// absorbed before succeeding or ending the attempt.
 	NackBurst *Histogram
+
+	// PolicyOverrides counts aborts whose retry policy overrode the §4.3
+	// mechanism proposal (always a serialization to fallback).
+	PolicyOverrides *Counter
+	// PolicyBackoffTicks is the distribution of non-zero policy backoff
+	// delays inserted before retries (on top of the fixed abort penalty).
+	PolicyBackoffTicks *Histogram
 }
 
 // Instruments returns the registry's standard instrument set, creating the
@@ -96,6 +103,9 @@ func newInstruments(r *Registry) *Instruments {
 		LockWaitTicks:      r.Histogram("clear_lock_wait_ticks", "Cacheline-lock wait-edge duration in ticks."),
 		FootprintLines:     r.Histogram("clear_footprint_lines", "CL footprint size at S-CL/NS-CL attempt start, in lines."),
 		NackBurst:          r.Histogram("clear_nack_burst", "Consecutive lock NACKs absorbed by one core."),
+
+		PolicyOverrides:    r.Counter("clear_policy_overrides_total", "Retry-policy overrides of the mechanism proposal (serializations)."),
+		PolicyBackoffTicks: r.Histogram("clear_policy_backoff_ticks", "Non-zero retry-policy backoff delays in ticks."),
 	}
 	for m := stats.CommitMode(0); m < stats.NumCommitModes; m++ {
 		ins.Commits[m] = r.Counter("clear_commits_total", "Committed AR invocations.", Label{"mode", m.String()})
@@ -196,6 +206,12 @@ func (c *Collector) OnAttemptEnd(info cpu.AttemptEndInfo) {
 		r = reasonOverflow
 	}
 	c.ins.Aborts[r].Inc()
+	if info.Proposed != info.NextMode {
+		c.ins.PolicyOverrides.Inc()
+	}
+	if info.Backoff > 0 {
+		c.ins.PolicyBackoffTicks.Observe(uint64(info.Backoff))
+	}
 	if !s.aborted {
 		s.aborted = true
 		s.firstAbort = tick

@@ -68,6 +68,12 @@ type RunSpec struct {
 	// under different plans are different cache entries.
 	FaultPlan string
 
+	// Policy is the canonical rendering of a non-default retry policy
+	// ("" = the paper-exact default). The default is elided from the
+	// canonical encoding entirely — see Canonical — so every record cached
+	// before policies existed keeps its key.
+	Policy string
+
 	// Salt is the code-version salt: the harness derives it from the
 	// statistics digest schema version, so bumping that schema (any
 	// digest-affecting simulator change) orphans every cached record.
@@ -100,6 +106,13 @@ func (s RunSpec) Canonical() string {
 	fmt.Fprintf(&b, "crt_ways=%d\n", s.CRTWays)
 	fmt.Fprintf(&b, "watchdog=%s\n", s.Watchdog)
 	fmt.Fprintf(&b, "fault_plan=%s\n", s.FaultPlan)
+	if s.Policy != "" {
+		// Default-elision: the policy line appears only for non-default
+		// policies. The default policy is bit-identical to the pre-policy
+		// simulator, so eliding it preserves every previously derived key —
+		// the one sanctioned exception to "append-only within a version".
+		fmt.Fprintf(&b, "policy=%s\n", s.Policy)
+	}
 	return b.String()
 }
 

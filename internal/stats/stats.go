@@ -96,6 +96,22 @@ type Run struct {
 	// PowerClaims counts PowerTM token grants.
 	PowerClaims uint64
 
+	// Retry-policy counters (internal/policy). Deliberately excluded from
+	// Digest(): the default policy reproduces the legacy digests
+	// bit-identically, and non-default policies are keyed into the runstore
+	// cache by RunSpec, so digest-keying them would be redundant.
+	//
+	// PolicyOverrides counts decisions where the policy overrode the §4.3
+	// mechanism proposal (always a serialization to fallback).
+	PolicyOverrides uint64
+	// PolicyBackoffTicks is the total backoff delay the policy inserted
+	// between attempts (excluding the fixed abort penalty).
+	PolicyBackoffTicks uint64
+	// PolicyNonSpecEntries counts attempt-0 static NS-CL entries taken on
+	// policy preference (PreferNonSpec) rather than the StaticLocking
+	// config.
+	PolicyNonSpecEntries uint64
+
 	// PerAR breaks commits and aborts down by atomic region (keyed by the
 	// AR's program id), the granularity at which the paper reasons in
 	// Table 1 and Figure 12. Lazily allocated.

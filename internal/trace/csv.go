@@ -99,6 +99,9 @@ func eventDetail(meta Meta, e Event) string {
 		if ok, a := e.Assessed(); ok {
 			s += fmt.Sprintf(" assessed=%s", a)
 		}
+		if p, ok := e.ProposedMode(); ok && p != e.NextMode() {
+			s += fmt.Sprintf(" proposed=%s", p)
+		}
 		return s
 	case KindCommit:
 		return fmt.Sprintf("ar=%s attempt=%d mode=%s retries=%d store-lines=%d",

@@ -159,8 +159,16 @@ func (e Event) Reason() htm.AbortReason { return htm.AbortReason(e.Arg1) }
 // ProgID returns the AR program id of invocation/attempt/commit events.
 func (e Event) ProgID() int { return int(e.Addr) }
 
-// Attempt returns the attempt index of attempt/commit events.
-func (e Event) Attempt() int { return int(e.Arg2) }
+// Attempt returns the attempt index of attempt/commit events. KindAttemptEnd
+// records written since the policy interface carry the §4.3 proposal packed
+// into the high bits of Arg2 (see the layout at endProposedBit); the low 16
+// bits stay the attempt index, so pre-policy traces decode unchanged.
+func (e Event) Attempt() int {
+	if e.Kind == KindAttemptEnd && e.Arg2&endProposedBit != 0 {
+		return int(e.Arg2 & endAttemptMask)
+	}
+	return int(e.Arg2)
+}
 
 // Line returns the cacheline of lock/unlock/dir/conflict/evict events; for
 // KindMemAccess it is derived from the byte address.
@@ -216,6 +224,48 @@ const (
 	maxTrackedPC     = endPCMask
 	maxTrackedUint32 = packedWordMask
 )
+
+// The packed Arg2 layout of KindAttemptEnd (Arg3 is full):
+//
+//	bits  0..15  attempt index (capped)
+//	bits 16..22  §4.3 mechanism proposal the policy decided over
+//	bit  23      proposal present
+//
+// Pre-policy traces never set bit 23 (attempt indices were far below 2^16),
+// so the trace format version is unchanged and old records keep decoding.
+const (
+	endAttemptMask   = 0xffff
+	endProposedShift = 16
+	endProposedBit   = 1 << 23
+)
+
+// packAttemptEndArg2 encodes the attempt index and the mechanism proposal.
+func packAttemptEndArg2(attempt int, proposed clear.RetryMode) uint32 {
+	if attempt > endAttemptMask {
+		attempt = endAttemptMask
+	}
+	return uint32(attempt) |
+		uint32(uint8(proposed)&endModeMask)<<endProposedShift |
+		endProposedBit
+}
+
+// ProposedMode returns the §4.3 mechanism proposal of a KindAttemptEnd
+// event; ok is false for pre-policy trace records, which did not carry it.
+// Proposed != NextMode marks a policy override (a serialization to
+// fallback).
+func (e Event) ProposedMode() (proposed clear.RetryMode, ok bool) {
+	if e.Kind != KindAttemptEnd || e.Arg2&endProposedBit == 0 {
+		return 0, false
+	}
+	return clear.RetryMode((e.Arg2 >> endProposedShift) & endModeMask), true
+}
+
+// Overridden reports whether a KindAttemptEnd event records a policy
+// override: the decided next mode differs from the mechanism proposal.
+func (e Event) Overridden() bool {
+	p, ok := e.ProposedMode()
+	return ok && p != e.NextMode()
+}
 
 // packAttemptEnd encodes the retry-mode decision of one abort.
 func packAttemptEnd(next clear.RetryMode, assessed bool, assessment clear.RetryMode, pc int, retries int) uint64 {

@@ -59,7 +59,11 @@ func textMessage(meta Meta, e Event) string {
 		return fmt.Sprintf("begin %s attempt=%d retries=%d prog=%s",
 			attemptNoun(e.Mode()), e.Attempt(), e.Retries(), meta.ARName(e.ProgID()))
 	case KindAttemptEnd:
-		return fmt.Sprintf("abort reason=%s pc=%d next=%s", e.Reason(), e.PC(), e.NextMode())
+		s := fmt.Sprintf("abort reason=%s pc=%d next=%s", e.Reason(), e.PC(), e.NextMode())
+		if p, ok := e.ProposedMode(); ok && p != e.NextMode() {
+			s += fmt.Sprintf(" (policy override, proposed %s)", p)
+		}
+		return s
 	case KindCommit:
 		return fmt.Sprintf("commit %s retries=%d store-lines=%d",
 			attemptNoun(e.Mode()), e.Retries(), e.StoreLines())

@@ -64,6 +64,11 @@ type Span struct {
 	// Reason and NextMode are valid for OutcomeAbort.
 	Reason   htm.AbortReason
 	NextMode clear.RetryMode
+	// Proposed is the §4.3 mechanism proposal behind NextMode; Overridden
+	// marks a policy override (always a serialization to fallback). Both
+	// are zero for pre-policy traces, which did not record the proposal.
+	Proposed   clear.RetryMode
+	Overridden bool
 	// Retries is the conflict-counted retry total at the span's end event.
 	Retries int
 	// Footprint is the CL footprint length announced at attempt start
@@ -165,6 +170,10 @@ func BuildTimeline(meta Meta, evs []Event) *Timeline {
 			o.span.Outcome = OutcomeAbort
 			o.span.Reason = e.Reason()
 			o.span.NextMode = e.NextMode()
+			if p, ok := e.ProposedMode(); ok {
+				o.span.Proposed = p
+				o.span.Overridden = p != e.NextMode()
+			}
 			o.span.Retries = e.Retries()
 			tl.Spans = append(tl.Spans, o.span)
 			o.active = false

@@ -218,7 +218,7 @@ func (t *Tracer) OnAttemptStart(core int, mode cpu.Mode, attempt int, footprint 
 func (t *Tracer) OnAttemptEnd(info cpu.AttemptEndInfo) {
 	t.retries[info.Core] = uint32(info.ConflictRetries)
 	t.emit(KindAttemptEnd, info.Core, uint8(info.Mode), uint8(info.Reason),
-		uint32(info.Attempt), uint64(info.ProgID),
+		packAttemptEndArg2(info.Attempt, info.Proposed), uint64(info.ProgID),
 		packAttemptEnd(info.NextMode, info.Assessed, info.Assessment.Mode, info.PC, info.ConflictRetries))
 }
 
